@@ -1,0 +1,54 @@
+"""Ablation (Sec. III-B1): the three IQ organizations' IPC.
+
+The paper's taxonomy predicts: the shifting (age-compacting) queue has the
+best IPC because position priority equals age priority; the circular queue
+loses capacity to lingering holes and priority order to wrap-around; the
+random queue (the modern baseline PUBS builds on) is worst without help.
+The age matrix and PUBS then recover IPC for the random queue without the
+shifting queue's critical-path compaction circuit.
+"""
+
+from common import SWEEP_PROGRAMS, gm_percent, run_cached
+
+from repro import ProcessorConfig
+from repro.analysis import render_table
+
+BASE = ProcessorConfig.cortex_a72_like()
+ORGS = {
+    "random": BASE,
+    "circular": BASE.with_overrides(iq_organization="circular"),
+    "shifting": BASE.with_overrides(iq_organization="shifting"),
+    "random+AGE": BASE.with_age_matrix(),
+    "random+PUBS": BASE.with_pubs(),
+}
+
+
+def _run_ablation():
+    out = {}
+    for label, cfg in ORGS.items():
+        ipcs = {}
+        for prog in SWEEP_PROGRAMS:
+            ipcs[prog] = run_cached(prog, cfg).stats.ipc
+        out[label] = ipcs
+    return out
+
+
+def test_ablation_iq_organizations(benchmark, report):
+    out = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    base_ipc = out["random"]
+    rows = []
+    for label in ORGS:
+        gm = gm_percent(out[label][p] / base_ipc[p] for p in SWEEP_PROGRAMS)
+        rows.append([label, gm])
+    report(
+        "Ablation (Sec. III-B1): IQ organizations, IPC vs the random queue",
+        render_table(["organization", "GM IPC vs random %"], rows),
+    )
+
+    gms = dict((label, gm) for label, gm in rows)
+    # The paper's taxonomy ordering.
+    assert gms["shifting"] > gms["circular"] > gms["random"] == 0.0
+    # Criticality-aware selection lets the random queue approach (or beat)
+    # the age-ordered organizations without their circuit costs.
+    assert gms["random+AGE"] > 0.0
+    assert gms["random+PUBS"] > 0.0

@@ -1,0 +1,63 @@
+"""Figure 8: speedup of PUBS over the base, per program.
+
+Paper's headline: +7.8% geometric mean over the difficult-branch-prediction
+(D-BP) programs, max 19.2% (sjeng), min 0.3% (mcf); no adverse effect on
+the easy (E-BP) set.
+"""
+
+from common import all_workloads, gm_percent, run_cached
+
+from repro import ProcessorConfig
+from repro.analysis import render_bar_chart, render_table
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+
+
+def _run_figure8():
+    rows = []
+    for name in all_workloads():
+        base = run_cached(name, BASE)
+        pubs = run_cached(name, PUBS)
+        rows.append({
+            "name": name,
+            "speedup": pubs.stats.ipc / base.stats.ipc,
+            "branch_mpki": base.stats.branch_mpki,
+            "llc_mpki": base.stats.llc_mpki,
+            "dbp": base.stats.is_difficult_branch_prediction,
+        })
+    return rows
+
+
+def test_fig08_speedup(benchmark, report):
+    rows = benchmark.pedantic(_run_figure8, rounds=1, iterations=1)
+    dbp = [r for r in rows if r["dbp"]]
+    ebp = [r for r in rows if not r["dbp"]]
+    gm_dbp = gm_percent(r["speedup"] for r in dbp)
+    gm_ebp = gm_percent(r["speedup"] for r in ebp)
+
+    dbp_sorted = sorted(dbp, key=lambda r: r["name"])
+    chart = render_bar_chart(
+        [r["name"] for r in dbp_sorted] + ["GM diff", "GM easy"],
+        [(r["speedup"] - 1) * 100 for r in dbp_sorted] + [gm_dbp, gm_ebp],
+        unit="%",
+    )
+    detail = render_table(
+        ["program", "set", "speedup %", "branch MPKI", "LLC MPKI"],
+        [[r["name"], "D-BP" if r["dbp"] else "E-BP",
+          (r["speedup"] - 1) * 100, r["branch_mpki"], r["llc_mpki"]]
+         for r in sorted(rows, key=lambda r: -r["branch_mpki"])],
+    )
+    report("Fig. 8: PUBS speedup over base (paper: GM D-BP +7.8%, max "
+           "sjeng 19.2%, min mcf 0.3%)", chart + "\n\n" + detail)
+
+    # Shape assertions (paper's qualitative claims).
+    assert len(dbp) >= 8, "a healthy D-BP population"
+    assert 4.0 < gm_dbp < 15.0, f"GM D-BP {gm_dbp:.1f}% should be several %"
+    assert abs(gm_ebp) < 2.5, f"E-BP must be unaffected, got {gm_ebp:.1f}%"
+    by_name = {r["name"]: r for r in rows}
+    best = max(dbp, key=lambda r: r["speedup"])
+    assert best["name"] == "sjeng", f"max should be sjeng, got {best['name']}"
+    assert 0.10 < best["speedup"] - 1 < 0.35
+    assert abs(by_name["mcf"]["speedup"] - 1) < 0.03, "mcf ~ 0.3% in the paper"
+    assert by_name["mcf"]["dbp"], "mcf is D-BP despite its ~0 speedup"

@@ -1,0 +1,59 @@
+"""Figure 9: correlation between speedup, branch MPKI and memory intensity.
+
+Paper: among compute-intensive programs (LLC MPKI < 1.0, red dots) the
+speedup correlates with branch MPKI; memory-intensive programs (blue dots)
+see smaller speedups at the same branch MPKI.
+"""
+
+from common import all_workloads, run_cached
+
+from repro import ProcessorConfig
+from repro.analysis import correlation, render_scatter
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+
+
+def _run_figure9():
+    points = []
+    for name in all_workloads():
+        base = run_cached(name, BASE)
+        pubs = run_cached(name, PUBS)
+        points.append({
+            "name": name,
+            "branch_mpki": base.stats.branch_mpki,
+            "speedup_pct": (pubs.stats.ipc / base.stats.ipc - 1) * 100,
+            "memory_intensive": base.stats.is_memory_intensive,
+        })
+    return points
+
+
+def test_fig09_correlation(benchmark, report):
+    points = benchmark.pedantic(_run_figure9, rounds=1, iterations=1)
+    scatter = render_scatter(
+        [(p["branch_mpki"], p["speedup_pct"],
+          "B" if p["memory_intensive"] else "R") for p in points],
+        x_label="branch MPKI", y_label="speedup %",
+    )
+    legend = "R = compute-intensive (LLC MPKI < 1), B = memory-intensive"
+    red = [p for p in points if not p["memory_intensive"]]
+    blue = [p for p in points if p["memory_intensive"]]
+    corr_red = correlation([p["branch_mpki"] for p in red],
+                           [p["speedup_pct"] for p in red])
+    stats = (f"Pearson r (compute-intensive): {corr_red:.2f}   "
+             f"mean speedup red {sum(p['speedup_pct'] for p in red)/len(red):.1f}% "
+             f"blue {sum(p['speedup_pct'] for p in blue)/len(blue):.1f}%")
+    report("Fig. 9: speedup vs branch MPKI, coloured by memory intensity",
+           scatter + "\n" + legend + "\n" + stats)
+
+    # Paper's claims: positive correlation for red dots; blue depressed.
+    assert corr_red > 0.5, f"compute programs should correlate, r={corr_red:.2f}"
+    hard_red = [p for p in red if p["branch_mpki"] >= 3.0]
+    hard_blue = [p for p in blue if p["branch_mpki"] >= 3.0]
+    assert hard_red and hard_blue
+    mean_red = sum(p["speedup_pct"] for p in hard_red) / len(hard_red)
+    mean_blue = sum(p["speedup_pct"] for p in hard_blue) / len(hard_blue)
+    assert mean_red > mean_blue, (
+        f"compute D-BP ({mean_red:.1f}%) must beat memory D-BP "
+        f"({mean_blue:.1f}%)"
+    )

@@ -1,0 +1,65 @@
+"""Figure 11: sensitivity to the confidence counter width, plus "blind".
+
+Paper: wider resetting counters are more pessimistic, raising the
+unconfident-branch rate (71% at the 6-bit optimum); aggressive estimation
+is beneficial, but the "blind" model (all branches unconfident, no
+conf_tab) underperforms PUBS-with-conf_tab.
+"""
+
+from common import SWEEP_PROGRAMS, gm_percent, run_cached, speedups
+
+from repro import ProcessorConfig, PubsConfig
+from repro.analysis import render_table
+
+BASE = ProcessorConfig.cortex_a72_like()
+COUNTER_BITS = [2, 3, 4, 5, 6, 7, 8]
+
+
+def _unconfident_rate(cfg):
+    total_branches = 0
+    total_unconfident = 0
+    for name in SWEEP_PROGRAMS:
+        r = run_cached(name, cfg)
+        total_branches += r.tracker_stats.branch_decodes
+        total_unconfident += r.tracker_stats.unconfident_branch_decodes
+    return total_unconfident / total_branches if total_branches else 0.0
+
+
+def _run_figure11():
+    results = {}
+    for bits in COUNTER_BITS:
+        cfg = BASE.with_pubs(PubsConfig(conf_counter_bits=bits))
+        gm = gm_percent(speedups(SWEEP_PROGRAMS, BASE, cfg).values())
+        results[bits] = (gm, _unconfident_rate(cfg))
+    blind_cfg = BASE.with_pubs(PubsConfig(blind=True))
+    gm = gm_percent(speedups(SWEEP_PROGRAMS, BASE, blind_cfg).values())
+    results["blind"] = (gm, _unconfident_rate(blind_cfg))
+    return results
+
+
+def test_fig11_confidence_counter_bits(benchmark, report):
+    results = benchmark.pedantic(_run_figure11, rounds=1, iterations=1)
+    table = render_table(
+        ["counter bits", "GM speedup %", "unconfident branch rate"],
+        [[str(k), results[k][0], results[k][1]]
+         for k in COUNTER_BITS + ["blind"]],
+    )
+    report(
+        "Fig. 11: speedup and unconfident-branch rate vs counter bits "
+        "(paper: rate grows with bits, ~71% at 6 bits; blind < PUBS)",
+        table,
+    )
+
+    rates = {bits: results[bits][1] for bits in COUNTER_BITS}
+    gms = {bits: results[bits][0] for bits in COUNTER_BITS}
+    # Resetting counters: more bits => longer saturation road => more
+    # unconfident estimates.
+    assert rates[8] > rates[2], "rate must grow with counter width"
+    assert all(0.0 <= rates[b] <= 1.0 for b in COUNTER_BITS)
+    assert results["blind"][1] == 1.0, "blind marks every branch unconfident"
+    # Aggressive (>=4-bit) estimation is not worse than conservative 2-bit.
+    assert max(gms[b] for b in (4, 5, 6, 7, 8)) >= gms[2] - 0.5
+    # The blind model works but the conf_tab earns its cost.
+    best = max(gms.values())
+    assert results["blind"][0] < best, "blind must trail tuned conf_tab"
+    assert results["blind"][0] > -2.0, "blind is still roughly neutral-positive"

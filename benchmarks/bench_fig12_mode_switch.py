@@ -1,0 +1,55 @@
+"""Figure 12: effectiveness of the mode switch.
+
+Paper: most programs are indifferent, but memory-sensitive mcf and soplex
+degrade when the mode switch is disabled (reserved priority entries then
+cost IQ capacity exactly when MLP matters most).
+"""
+
+from common import SWEEP_PROGRAMS, gm_percent, speedups
+
+from repro import ProcessorConfig, PubsConfig
+from repro.analysis import render_table
+
+BASE = ProcessorConfig.cortex_a72_like()
+ON = BASE.with_pubs(PubsConfig(mode_switch_enabled=True))
+OFF = BASE.with_pubs(PubsConfig(mode_switch_enabled=False))
+
+#: The memory-sensitive programs the paper highlights, plus the usual
+#: compute subset as controls.
+PROGRAMS = ["mcf", "soplex"] + [p for p in SWEEP_PROGRAMS if p not in ("mcf", "soplex")]
+
+
+def _run_figure12():
+    with_switch = speedups(PROGRAMS, BASE, ON)
+    without_switch = speedups(PROGRAMS, BASE, OFF)
+    return with_switch, without_switch
+
+
+def test_fig12_mode_switch(benchmark, report):
+    with_switch, without_switch = benchmark.pedantic(
+        _run_figure12, rounds=1, iterations=1)
+    table = render_table(
+        ["program", "mode switch ON %", "mode switch OFF %"],
+        [[name, (with_switch[name] - 1) * 100, (without_switch[name] - 1) * 100]
+         for name in PROGRAMS]
+        + [["GM", gm_percent(with_switch.values()),
+            gm_percent(without_switch.values())]],
+    )
+    report(
+        "Fig. 12: PUBS speedup with the mode switch enabled vs disabled "
+        "(paper: mcf and soplex degrade when disabled)",
+        table,
+    )
+
+    # The paper's highlighted programs must not lose from PUBS when the
+    # mode switch protects them...
+    for name in ("mcf", "soplex"):
+        assert with_switch[name] > 0.985, f"{name} protected by mode switch"
+        # ...and the switch must help (or at least not hurt) them.
+        assert with_switch[name] >= without_switch[name] - 0.005, name
+    # Compute-intensive programs are indifferent to the switch.
+    for name in PROGRAMS:
+        if name in ("mcf", "soplex"):
+            continue
+        delta = abs(with_switch[name] - without_switch[name])
+        assert delta < 0.05, f"{name} should be mode-switch-insensitive"

@@ -1,0 +1,50 @@
+"""Figure 13: PUBS vs spending its hardware budget on a bigger predictor.
+
+Paper: enlarging the perceptron to a 36-bit history and a 512-entry weight
+table (+8.4 KB, more than double the default predictor and more than twice
+the 4.0 KB PUBS budget) yields only marginal gains -- PUBS is the better
+use of the transistors.
+"""
+
+from common import SWEEP_PROGRAMS, gm_percent, speedups
+
+from repro import ProcessorConfig
+from repro.analysis import render_table
+from repro.core.pipeline import build_predictor
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+BIG_PREDICTOR = BASE.with_overrides(predictor=BASE.predictor.enlarged())
+
+
+def _run_figure13():
+    pubs = speedups(SWEEP_PROGRAMS, BASE, PUBS)
+    bigpred = speedups(SWEEP_PROGRAMS, BASE, BIG_PREDICTOR)
+    return pubs, bigpred
+
+
+def test_fig13_large_predictor(benchmark, report):
+    pubs, bigpred = benchmark.pedantic(_run_figure13, rounds=1, iterations=1)
+    small_kib = build_predictor(BASE).storage_kib()
+    big_kib = build_predictor(BIG_PREDICTOR).storage_kib()
+    table = render_table(
+        ["program", "PUBS (+4.0KB) %", "large predictor (+%.1fKB) %%" % (
+            big_kib - small_kib)],
+        [[name, (pubs[name] - 1) * 100, (bigpred[name] - 1) * 100]
+         for name in SWEEP_PROGRAMS]
+        + [["GM", gm_percent(pubs.values()), gm_percent(bigpred.values())]],
+    )
+    report(
+        "Fig. 13: PUBS vs enlarged branch predictor (paper: the larger "
+        "predictor's gain is marginal; PUBS wins)",
+        table,
+    )
+
+    gm_pubs = gm_percent(pubs.values())
+    gm_pred = gm_percent(bigpred.values())
+    assert gm_pubs > gm_pred + 1.0, (
+        f"PUBS ({gm_pubs:.1f}%) must clearly beat the large predictor "
+        f"({gm_pred:.1f}%)"
+    )
+    assert gm_pred < 5.0, "predictor enlargement is marginal"
+    assert big_kib - small_kib > 2 * 4.0, "the predictor got the bigger budget"

@@ -1,0 +1,70 @@
+"""Figure 15: comparison with an IQ using the age matrix.
+
+Paper, Fig. 15(a): AGE raises IPC (+6.5% D-BP) but PUBS (+7.8%) edges it in
+D-BP (in E-BP AGE is slightly ahead); PUBS+AGE combines both views of
+criticality (+10.2%).  Fig. 15(b): the age matrix lengthens the IQ critical
+path by 13%; charging that to the clock, PUBS outperforms AGE by 11.1% in
+D-BP.
+
+Our reproduction holds all of Fig. 15's ordering claims except that AGE's
+IPC can land slightly *above* PUBS's on the compute-heavy subset (the two
+are within a couple of points in the paper as well); EXPERIMENTS.md
+discusses the deviation.  The performance conclusion -- PUBS wins once AGE
+pays for its wires -- is robust.
+"""
+
+from common import D_BP, SWEEP_PROGRAMS, gm_percent, run_cached, speedups
+
+from repro import AGE_MATRIX_IQ_DELAY_FACTOR, ProcessorConfig
+from repro.analysis import performance_ratio_with_clock, render_table
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+AGE = BASE.with_age_matrix()
+PUBS_AGE = PUBS.with_age_matrix()
+
+EASY_SUBSET = ["hmmer", "namd", "povray", "gamess", "milc", "lbm"]
+
+
+def _run_figure15():
+    out = {}
+    for label, cfg in (("PUBS", PUBS), ("AGE", AGE), ("PUBS+AGE", PUBS_AGE)):
+        out[label] = {
+            "dbp": gm_percent(speedups(SWEEP_PROGRAMS, BASE, cfg).values()),
+            "ebp": gm_percent(speedups(EASY_SUBSET, BASE, cfg).values()),
+        }
+    # Fig. 15(b): performance of PUBS over AGE with AGE's clock penalty.
+    perf = []
+    for name in SWEEP_PROGRAMS:
+        ipc_pubs = run_cached(name, PUBS).stats.ipc
+        ipc_age = run_cached(name, AGE).stats.ipc
+        perf.append(performance_ratio_with_clock(
+            ipc_pubs, ipc_age, AGE_MATRIX_IQ_DELAY_FACTOR))
+    out["perf_pubs_over_age"] = gm_percent(perf)
+    return out
+
+
+def test_fig15_age_matrix(benchmark, report):
+    out = benchmark.pedantic(_run_figure15, rounds=1, iterations=1)
+    table = render_table(
+        ["model", "GM diff (D-BP) %", "GM easy (E-BP) %"],
+        [[label, out[label]["dbp"], out[label]["ebp"]]
+         for label in ("PUBS", "AGE", "PUBS+AGE")],
+    )
+    extra = (
+        f"Fig. 15(b): performance of PUBS over AGE assuming the age matrix "
+        f"adds {100 * (AGE_MATRIX_IQ_DELAY_FACTOR - 1):.0f}% IQ delay to the "
+        f"clock period: {out['perf_pubs_over_age']:+.1f}% "
+        f"(paper: +11.1%)"
+    )
+    report("Fig. 15: IPC and performance vs the age matrix", table + "\n" + extra)
+
+    pubs, age, both = (out[l]["dbp"] for l in ("PUBS", "AGE", "PUBS+AGE"))
+    # All three criticality-aware schemes help D-BP IPC.
+    assert pubs > 3 and age > 0
+    # Combining the two orthogonal priority views beats either alone.
+    assert both > pubs - 0.5 and both > age - 0.5
+    # PUBS and AGE are close in IPC (within a few points, as in the paper).
+    assert abs(pubs - age) < 6.0
+    # Fig. 15(b)'s conclusion: with the clock penalty, PUBS wins clearly.
+    assert out["perf_pubs_over_age"] > 5.0

@@ -1,0 +1,76 @@
+"""Figure 16 / Table IV: IPC sensitivity to processor size.
+
+Paper: PUBS, AGE and PUBS+AGE all become *more* effective as the processor
+grows (window capacity scales faster than issue resources, so issue
+conflicts increase); PUBS+AGE leads at every size.  Clock effects are
+ignored here, as in the paper's Fig. 16.
+"""
+
+from common import gm_percent, speedups
+
+from repro import PubsConfig, size_models
+from repro.analysis import render_table
+
+SIZES = ["small", "medium", "large", "huge"]
+#: Compute-bound D-BP programs (size scaling is about issue conflicts, so
+#: memory-bound programs would only add noise).
+PROGRAMS = ["sjeng", "gobmk", "gcc", "bzip2", "perlbench"]
+
+#: Each machine's priority partition is sized by its own Fig.-10-style
+#: sweep, just as the paper derived 6 for its medium machine: a bigger
+#: window holds more concurrent unconfident slices and needs a bigger
+#: partition (re-derivable with examples/design_space.py per model).
+PRIORITY_ENTRIES = {"small": 8, "medium": 6, "large": 12, "huge": 16}
+
+
+def _run_figure16():
+    models = size_models()
+    out = {}
+    for size in SIZES:
+        base = models[size]
+        pubs = PubsConfig(priority_entries=PRIORITY_ENTRIES[size])
+        for label, cfg in (
+            ("PUBS", base.with_pubs(pubs)),
+            ("AGE", base.with_age_matrix()),
+            ("PUBS+AGE", base.with_pubs(pubs).with_age_matrix()),
+        ):
+            out[(size, label)] = gm_percent(
+                speedups(PROGRAMS, base, cfg).values())
+    return out
+
+
+def test_fig16_processor_size(benchmark, report):
+    out = benchmark.pedantic(_run_figure16, rounds=1, iterations=1)
+    models = size_models()
+    table4 = render_table(
+        ["size", "width", "IQ", "LSQ", "ROB", "int regs", "fp regs",
+         "priority entries"],
+        [[s, models[s].issue_width, models[s].iq_size, models[s].lsq_size,
+          models[s].rob_size, models[s].int_phys_regs,
+          models[s].fp_phys_regs, PRIORITY_ENTRIES[s]] for s in SIZES],
+    )
+    table = render_table(
+        ["size", "PUBS %", "AGE %", "PUBS+AGE %"],
+        [[size, out[(size, "PUBS")], out[(size, "AGE")],
+          out[(size, "PUBS+AGE")]] for size in SIZES],
+    )
+    report(
+        "Table IV / Fig. 16: processor size models and IPC increase "
+        "(paper: effectiveness grows with size; PUBS+AGE leads)",
+        table4 + "\n\n" + table,
+    )
+
+    # Criticality-aware selection gains grow with processor size (the
+    # paper's central Fig. 16 claim), for PUBS and AGE alike.
+    pubs_series = [out[(s, "PUBS")] for s in SIZES]
+    assert pubs_series == sorted(pubs_series), (
+        f"PUBS gains must grow with size: {pubs_series}"
+    )
+    assert out[("huge", "PUBS")] > out[("small", "PUBS")] + 3.0
+    assert out[("huge", "AGE")] > out[("small", "AGE")]
+    # The combination is at least competitive with PUBS alone everywhere.
+    for size in SIZES:
+        assert out[(size, "PUBS+AGE")] > out[(size, "PUBS")] - 2.0, size
+    # Every scheme helps at every size (non-negative GM).
+    for key, value in out.items():
+        assert value > -1.0, key

@@ -1,0 +1,70 @@
+"""Tables I and II: base processor and PUBS configuration.
+
+Regenerates the configuration tables so every other bench's machine is
+documented in the output.
+"""
+
+from common import INSTRUCTIONS, SKIP
+
+from repro import ProcessorConfig, PubsConfig
+from repro.analysis import render_table
+
+
+def _build_tables():
+    cfg = ProcessorConfig.cortex_a72_like()
+    pubs = PubsConfig()
+    table1 = render_table(
+        ["parameter", "value"],
+        [
+            ["pipeline width", f"{cfg.fetch_width}-wide fetch/decode/issue/commit"],
+            ["reorder buffer", f"{cfg.rob_size} entries"],
+            ["IQ", f"{cfg.iq_size} entries"],
+            ["load/store queue", f"{cfg.lsq_size} entries"],
+            ["physical registers", f"{cfg.int_phys_regs}(int) + {cfg.fp_phys_regs}(fp)"],
+            ["branch prediction", (
+                f"{cfg.predictor.history_length}-bit history, "
+                f"{cfg.predictor.table_size}-entry perceptron, "
+                f"{cfg.predictor.btb_sets}-set {cfg.predictor.btb_assoc}-way BTB, "
+                f"{cfg.recovery_penalty}-cycle recovery penalty"
+            )],
+            ["function units", (
+                f"{cfg.fu_pool.ialu} iALU, {cfg.fu_pool.imult} iMULT/DIV, "
+                f"{cfg.fu_pool.ldst} Ld/St, {cfg.fu_pool.fpu} FPU"
+            )],
+            ["L1 I-cache", "32KB, 8-way, 64B line"],
+            ["L1 D-cache", "32KB, 8-way, 64B line, 2-cycle hit"],
+            ["L2 cache", "2MB, 16-way, 64B line, 12-cycle hit"],
+            ["main memory", (
+                f"{cfg.memory.memory_latency}-cycle min latency, "
+                f"{cfg.memory.memory_bytes_per_cycle}B/cycle bandwidth"
+            )],
+            ["data prefetch", (
+                f"stream-based: {cfg.memory.prefetch_streams} streams, "
+                f"{cfg.memory.prefetch_distance}-line distance, "
+                f"{cfg.memory.prefetch_degree}-line degree, to L2"
+            )],
+        ],
+    )
+    table2 = render_table(
+        ["PUBS parameter", "value"],
+        [
+            ["priority entries", pubs.priority_entries],
+            ["dispatch policy", "stall" if pubs.stall_policy else "non-stall"],
+            ["confidence counter", f"{pubs.conf_counter_bits}-bit resetting"],
+            ["conf_tab", f"{pubs.conf_sets} sets x {pubs.conf_assoc} ways, "
+                         f"S={pubs.conf_fold_width} hashed tag"],
+            ["brslice_tab", f"{pubs.brslice_sets} sets x {pubs.brslice_assoc} ways, "
+                            f"S={pubs.brslice_fold_width} hashed tag"],
+            ["mode switch", f"LLC MPKI >= {pubs.mode_switch_threshold_mpki} over "
+                            f"{pubs.mode_switch_interval}-instruction windows"],
+            ["bench budget", f"{INSTRUCTIONS} instructions after {SKIP} skipped"],
+        ],
+    )
+    return table1 + "\n\n" + table2
+
+
+def test_tab01_configuration(benchmark, report):
+    text = benchmark.pedantic(_build_tables, rounds=1, iterations=1)
+    report("Table I/II: base processor and PUBS configuration", text)
+    assert "64 entries" in text
+    assert "priority entries" in text

@@ -1,0 +1,33 @@
+"""Table III: hardware cost of the PUBS tables.
+
+Paper: def_tab + brslice_tab + conf_tab total 4.0 KB with hashed tags
+(Sec. IV); a full-tag implementation would be several times larger.
+"""
+
+from repro import PubsConfig, pubs_hardware_cost
+from repro.analysis import render_table
+from repro.pubs import unhashed_cost
+
+
+def _run_table3():
+    hashed = pubs_hardware_cost(PubsConfig())
+    full = unhashed_cost(PubsConfig())
+    return hashed, full
+
+
+def test_tab03_hardware_cost(benchmark, report):
+    hashed, full = benchmark.pedantic(_run_table3, rounds=1, iterations=1)
+    table = render_table(
+        ["table", "hashed tags (KB)", "full tags (KB)"],
+        [
+            ["def_tab", hashed.def_tab_kib, full.def_tab_kib],
+            ["brslice_tab", hashed.brslice_tab_kib, full.brslice_tab_kib],
+            ["conf_tab", hashed.conf_tab_kib, full.conf_tab_kib],
+            ["total", hashed.total_kib, full.total_kib],
+        ],
+    )
+    report("Table III: PUBS hardware cost (paper: 4.0 KB total)", table)
+
+    assert 3.5 < hashed.total_kib < 4.2, f"total {hashed.total_kib:.2f} KB"
+    assert full.total_kib > 4 * hashed.total_kib, "hashing earns its keep"
+    assert hashed.brslice_tab_kib > hashed.conf_tab_kib > hashed.def_tab_kib

@@ -1,0 +1,82 @@
+"""Shared infrastructure for the benchmark harness.
+
+All experiments run at a reduced instruction budget by default so the full
+harness finishes in minutes on a laptop; the trends are stable at this
+scale.  Override via the environment for longer, smoother runs:
+
+* ``REPRO_BENCH_INSTRUCTIONS`` -- committed instructions per run (default 8000)
+* ``REPRO_BENCH_SKIP``         -- warm-up instructions skipped (default 16000)
+* ``REPRO_BENCH_FULL_SWEEPS``  -- set to 1 to sweep all D-BP programs in the
+  parameter-sweep figures instead of the representative subset
+
+Simulation results are cached per (workload, config, budget) for the whole
+pytest session, so e.g. the Fig. 9 scatter reuses the Fig. 8 runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Tuple
+
+from repro import ProcessorConfig, run_workload
+from repro.analysis import geometric_mean
+from repro.core import SimulationResult
+
+INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+SKIP = int(os.environ.get("REPRO_BENCH_SKIP", "16000"))
+FULL_SWEEPS = os.environ.get("REPRO_BENCH_FULL_SWEEPS", "0") == "1"
+
+#: Expected D-BP set (verified against measured MPKI by bench_fig08).
+D_BP = ["astar", "bzip2", "gcc", "gobmk", "h264ref", "mcf", "omnetpp",
+        "perlbench", "sjeng", "soplex", "xalancbmk"]
+
+#: Representative D-BP subset used by the parameter sweeps (Figs. 10-13):
+#: compute-bound programs where the swept PUBS parameters actually bind.
+SWEEP_PROGRAMS = D_BP if FULL_SWEEPS else [
+    "sjeng", "gobmk", "gcc", "bzip2", "perlbench", "astar",
+]
+
+_CACHE: Dict[Tuple, SimulationResult] = {}
+
+
+def run_cached(workload: str, config: ProcessorConfig,
+               instructions: int = None, skip: int = None) -> SimulationResult:
+    """Session-cached simulation run."""
+    instructions = INSTRUCTIONS if instructions is None else instructions
+    skip = SKIP if skip is None else skip
+    key = (workload, config, instructions, skip)
+    result = _CACHE.get(key)
+    if result is None:
+        result = run_workload(workload, config, instructions, skip)
+        _CACHE[key] = result
+    return result
+
+
+def speedups(workloads: Iterable[str], base: ProcessorConfig,
+             variant: ProcessorConfig) -> Dict[str, float]:
+    """Per-program variant/base IPC ratios."""
+    out = {}
+    for name in workloads:
+        b = run_cached(name, base)
+        v = run_cached(name, variant)
+        out[name] = v.stats.ipc / b.stats.ipc
+    return out
+
+
+def gm_percent(ratios: Iterable[float]) -> float:
+    """Geometric-mean speedup, in percent over 1.0."""
+    ratios = list(ratios)
+    if not ratios:
+        return 0.0
+    return (geometric_mean(ratios) - 1.0) * 100.0
+
+
+def all_workloads() -> List[str]:
+    from repro import spec2006_profiles
+    return sorted(spec2006_profiles())
+
+
+def measured_dbp(base: ProcessorConfig) -> List[str]:
+    """Programs whose *measured* branch MPKI crosses the 3.0 threshold."""
+    return [name for name in all_workloads()
+            if run_cached(name, base).stats.is_difficult_branch_prediction]

@@ -1,0 +1,31 @@
+"""Benchmark-harness plumbing.
+
+Each bench regenerates one of the paper's tables or figures and registers
+its rendered text through the ``report`` fixture; the texts are printed in
+the terminal summary (so they survive pytest's output capture and land in
+``bench_output.txt``).
+"""
+
+import pytest
+
+_SECTIONS = []
+
+
+@pytest.fixture
+def report():
+    """Collect a rendered table/figure for the end-of-run summary."""
+
+    def _report(title: str, text: str) -> None:
+        _SECTIONS.append((title, text))
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_sep("=", "PUBS reproduction: regenerated tables and figures")
+    for title, text in _SECTIONS:
+        terminalreporter.write_sep("-", title)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how many priority entries should an IQ reserve?
+
+Sweeps the PUBS priority-entry count and the dispatch policy (stall vs
+non-stall) on a chess-engine-like workload -- the experiment an architect
+would run before committing to a partition size (the paper's Fig. 10
+answers it with "6, stall policy").
+
+Usage::
+
+    python examples/design_space.py [instructions]
+"""
+
+import sys
+
+from repro import ProcessorConfig, PubsConfig, run_workload
+from repro.analysis import render_bar_chart
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    workload = "sjeng"
+    base = ProcessorConfig.cortex_a72_like()
+    base_ipc = run_workload(workload, base, instructions).stats.ipc
+    print(f"{workload}: base IPC {base_ipc:.3f}\n")
+
+    labels, values = [], []
+    for entries in (2, 4, 6, 8, 10, 12):
+        for stall in (True, False):
+            cfg = base.with_pubs(PubsConfig(priority_entries=entries,
+                                            stall_policy=stall))
+            result = run_workload(workload, cfg, instructions)
+            pct = (result.stats.ipc / base_ipc - 1) * 100
+            labels.append(f"{entries:2d} entries {'stall' if stall else 'spill'}")
+            values.append(pct)
+    print(render_bar_chart(labels, values, unit="%"))
+    print()
+    best = max(zip(values, labels))
+    print(f"best configuration here: {best[1].strip()} ({best[0]:+.1f}%)")
+    print("the paper lands on 6 entries with the stall policy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Full Figure-8-style evaluation across the whole SPEC2006-like suite.
+
+Runs every one of the 28 workloads on the base machine and on PUBS,
+classifies them into D-BP / E-BP by *measured* branch MPKI (threshold 3.0),
+and prints the per-program speedups plus the geometric means the paper
+headlines.  This is the long-running example; trim the instruction budget
+for a quick look.
+
+Usage::
+
+    python examples/full_evaluation.py [instructions] [skip]
+"""
+
+import sys
+import time
+
+from repro import ProcessorConfig, run_workload, spec2006_profiles
+from repro.analysis import geometric_mean, render_table
+
+
+def main() -> None:
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 8_000
+    skip = int(sys.argv[2]) if len(sys.argv) > 2 else 16_000
+
+    base = ProcessorConfig.cortex_a72_like()
+    pubs = base.with_pubs()
+    rows = []
+    t0 = time.time()
+    for name in sorted(spec2006_profiles()):
+        r_base = run_workload(name, base, instructions, skip)
+        r_pubs = run_workload(name, pubs, instructions, skip)
+        rows.append({
+            "name": name,
+            "dbp": r_base.stats.is_difficult_branch_prediction,
+            "mpki": r_base.stats.branch_mpki,
+            "llc": r_base.stats.llc_mpki,
+            "ratio": r_pubs.stats.ipc / r_base.stats.ipc,
+        })
+        print(f"  {name:11s} done ({time.time() - t0:5.1f}s)", flush=True)
+
+    rows.sort(key=lambda r: (-r["dbp"], -r["mpki"]))
+    print()
+    print(render_table(
+        ["program", "set", "branch MPKI", "LLC MPKI", "PUBS speedup %"],
+        [[r["name"], "D-BP" if r["dbp"] else "E-BP", r["mpki"], r["llc"],
+          (r["ratio"] - 1) * 100] for r in rows],
+    ))
+
+    dbp = [r["ratio"] for r in rows if r["dbp"]]
+    ebp = [r["ratio"] for r in rows if not r["dbp"]]
+    print()
+    print(f"GM diff (D-BP, {len(dbp)} programs): "
+          f"{(geometric_mean(dbp) - 1) * 100:+.1f}%   (paper: +7.8%)")
+    print(f"GM easy (E-BP, {len(ebp)} programs): "
+          f"{(geometric_mean(ebp) - 1) * 100:+.1f}%   (paper: ~0%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Anatomy of a branch slice: watch the PUBS tables learn.
+
+Builds a tiny hand-written kernel with one hard data-dependent branch fed
+through a three-instruction dependence chain, decodes it repeatedly through
+a standalone :class:`~repro.pubs.SliceTracker`, and prints which
+instructions get classified into the unconfident branch slice after each
+pass -- the transitive backward discovery of Sec. III-A made visible.
+
+Usage::
+
+    python examples/slice_anatomy.py
+"""
+
+from repro import SliceTracker
+from repro.isa import Opcode, ProgramBuilder, int_reg
+
+
+def build_kernel():
+    b = ProgramBuilder("kernel")
+    b.emit(Opcode.LOAD, dest=int_reg(1), src1=int_reg(10))          # v = mem[p]
+    b.emit(Opcode.ADDI, dest=int_reg(2), src1=int_reg(1), imm=3)    # a = v + 3
+    b.emit(Opcode.XORI, dest=int_reg(3), src1=int_reg(2), imm=5)    # b = a ^ 5
+    b.emit(Opcode.ANDI, dest=int_reg(4), src1=int_reg(3), imm=1)    # c = b & 1
+    b.emit(Opcode.ADDI, dest=int_reg(8), src1=int_reg(9), imm=1)    # filler
+    b.emit(Opcode.ADDI, dest=int_reg(8), src1=int_reg(8), imm=2)    # filler
+    b.mark_label("out")
+    b.emit(Opcode.BEQZ, src1=int_reg(4), target_label="out")        # branch on c
+    return b.build()
+
+
+def main() -> None:
+    program = build_kernel()
+    print("kernel:")
+    print(program.listing())
+    print()
+
+    tracker = SliceTracker()
+    # Teach the confidence table that this branch mispredicts.
+    branch_pc = program.insts[-1].pc
+    tracker.on_branch_resolved(branch_pc, correct=False)
+
+    print("decode passes (slice membership per instruction):")
+    header = " ".join(f"{inst.opcode.name.lower():>5s}" for inst in program)
+    print(f"pass   {header}")
+    for iteration in range(1, 6):
+        marks = [tracker.on_decode(inst) for inst in program]
+        row = " ".join(f"{'SLICE' if m else '-':>5s}" for m in marks)
+        print(f"{iteration:4d}   {row}")
+
+    print()
+    print("the slice grows backwards one dependence level per pass:")
+    print("branch -> and -> xor -> add -> load, while the filler chain")
+    print("(the computation slice) is never marked.")
+    s = tracker.stats
+    print(f"\nstats: {s.decoded} decodes, {s.slice_hits} brslice_tab hits, "
+          f"{s.unconfident_marks} instructions steered to priority entries")
+
+
+if __name__ == "__main__":
+    main()

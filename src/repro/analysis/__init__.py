@@ -1,0 +1,67 @@
+"""Evaluation helpers: runners, speedup math, and report rendering."""
+
+from .report import render_bar_chart, render_scatter, render_table
+from .runner import (
+    DEFAULT_INSTRUCTIONS,
+    DEFAULT_SKIP,
+    EXPECTED_D_BP,
+    PairedRun,
+    dbp_workloads,
+    run_pair,
+    run_suite,
+    run_workload,
+)
+from .robustness import (
+    SweepSummary,
+    speedup_is_significant,
+    sweep_speedup,
+)
+from .slices import (
+    SliceStatistics,
+    branch_slices,
+    build_dataflow_graph,
+    characterize_window,
+    dynamic_slice,
+    slice_depth,
+)
+from .speedup import (
+    classify_programs,
+    correlation,
+    geometric_mean,
+    gm_speedup,
+    ipc_map,
+    performance_ratio_with_clock,
+    speedup,
+    speedup_percent,
+)
+
+__all__ = [
+    "SweepSummary",
+    "speedup_is_significant",
+    "sweep_speedup",
+    "SliceStatistics",
+    "branch_slices",
+    "build_dataflow_graph",
+    "characterize_window",
+    "dynamic_slice",
+    "slice_depth",
+    "render_bar_chart",
+    "render_scatter",
+    "render_table",
+    "DEFAULT_INSTRUCTIONS",
+    "DEFAULT_SKIP",
+    "EXPECTED_D_BP",
+    "PairedRun",
+    "dbp_workloads",
+    "run_pair",
+    "run_suite",
+    "run_workload",
+    "classify_programs",
+    "correlation",
+    "geometric_mean",
+    "gm_speedup",
+    "ipc_map",
+    "performance_ratio_with_clock",
+    "speedup",
+    "speedup_percent",
+]

@@ -1,0 +1,86 @@
+"""Plain-text rendering of tables and figure-like charts.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and readable in a
+terminal (and in the captured bench_output.txt).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A simple aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        sep,
+    ]
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bars (one per label), scaled to the max value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(no data)"
+    label_w = max(len(l) for l in labels)
+    peak = max((abs(v) for v in values), default=0.0)
+    scale = width / peak if peak > 0 else 0.0
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(abs(value) * scale)))
+        sign = "-" if value < 0 else ""
+        lines.append(f"{label.ljust(label_w)} | {sign}{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    points: Sequence[tuple],
+    x_label: str,
+    y_label: str,
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """A coarse ASCII scatter plot of (x, y, marker) points (Fig. 9 style)."""
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, *rest in points:
+        marker = rest[0] if rest else "*"
+        col = int((x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y - y_min) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = [f"{y_label} (top={y_max:.2f}, bottom={y_min:.2f})"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} (left={x_min:.2f}, right={x_max:.2f})")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)

@@ -1,0 +1,94 @@
+"""Run-to-run robustness: seed sweeps with summary statistics.
+
+Synthetic workloads make it cheap to re-run an experiment under different
+memory seeds (different pseudo-random data => different branch outcomes and
+addresses, same program structure).  The paper reports single numbers from
+100M-instruction runs; at our reduced budgets, seed sweeps quantify how
+much of a measured speedup is signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from ..core.config import ProcessorConfig
+from ..core.simulator import simulate
+from ..workloads.generator import build_program
+from ..workloads.profiles import WorkloadProfile, get_profile
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Mean/stdev/extrema of one metric over a seed sweep."""
+
+    values: tuple
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def stdev(self) -> float:
+        if self.n < 2:
+            return 0.0
+        m = self.mean
+        return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        return self.stdev / math.sqrt(self.n) if self.n else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.mean:.3f} +/- {self.stderr:.3f} "
+                f"(n={self.n}, range {self.minimum:.3f}..{self.maximum:.3f})")
+
+
+def sweep_speedup(
+    workload: "str | WorkloadProfile",
+    base_config: ProcessorConfig,
+    variant_config: ProcessorConfig,
+    seeds: Sequence[int],
+    instructions: int = 5_000,
+    skip: int = 10_000,
+) -> SweepSummary:
+    """Variant/base IPC ratios over several memory seeds.
+
+    Each seed gets its own functional data (hence its own dynamic branch
+    stream); base and variant always share the seed, so every ratio is a
+    controlled comparison.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    ratios: List[float] = []
+    for seed in seeds:
+        seeded = replace(profile, mem_seed=seed)
+        program = build_program(seeded)
+        base = simulate(program, base_config, instructions, skip,
+                        mem_seed=seed)
+        variant = simulate(build_program(seeded), variant_config,
+                           instructions, skip, mem_seed=seed)
+        ratios.append(variant.stats.ipc / base.stats.ipc)
+    return SweepSummary(tuple(ratios))
+
+
+def speedup_is_significant(summary: SweepSummary,
+                           threshold: float = 1.0) -> bool:
+    """Whether the sweep's mean speedup clears ``threshold`` by more than
+    two standard errors (a simple z-style significance check)."""
+    return summary.mean - 2 * summary.stderr > threshold

@@ -1,0 +1,105 @@
+"""High-level experiment runner: workload name + config -> result.
+
+This is the layer examples and benchmarks call: it builds the synthetic
+program for a named profile, runs the timing simulation, and (for paired
+experiments) keeps the functional memory seed identical across machine
+configurations so base and variant execute the *same* dynamic instruction
+stream.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..core.config import ProcessorConfig
+from ..core.simulator import SimulationResult, simulate
+from ..workloads.generator import build_program
+from ..workloads.profiles import WorkloadProfile, get_profile, spec2006_profiles
+
+#: Default instruction budgets; override via environment for longer runs.
+DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "20000"))
+DEFAULT_SKIP = int(os.environ.get("REPRO_BENCH_SKIP", "2000"))
+
+
+def run_workload(
+    workload: "str | WorkloadProfile",
+    config: Optional[ProcessorConfig] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    skip: int = DEFAULT_SKIP,
+) -> SimulationResult:
+    """Simulate one named workload on one machine configuration."""
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    program = build_program(profile)
+    return simulate(
+        program,
+        config,
+        max_instructions=instructions,
+        skip_instructions=skip,
+        mem_seed=profile.mem_seed,
+    )
+
+
+@dataclass
+class PairedRun:
+    """Base-vs-variant results for one workload (same dynamic stream)."""
+
+    name: str
+    base: SimulationResult
+    variant: SimulationResult
+
+    @property
+    def speedup(self) -> float:
+        return self.variant.stats.ipc / self.base.stats.ipc
+
+    @property
+    def speedup_percent(self) -> float:
+        return (self.speedup - 1.0) * 100.0
+
+
+def run_pair(
+    workload: "str | WorkloadProfile",
+    base_config: ProcessorConfig,
+    variant_config: ProcessorConfig,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    skip: int = DEFAULT_SKIP,
+) -> PairedRun:
+    """Run base and variant on the identical dynamic instruction stream."""
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    base = run_workload(profile, base_config, instructions, skip)
+    variant = run_workload(profile, variant_config, instructions, skip)
+    return PairedRun(profile.name, base, variant)
+
+
+def run_suite(
+    configs: Mapping[str, ProcessorConfig],
+    workloads: Optional[Iterable[str]] = None,
+    instructions: int = DEFAULT_INSTRUCTIONS,
+    skip: int = DEFAULT_SKIP,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run every (config, workload) pair.
+
+    Returns ``results[config_name][workload_name]``.
+    """
+    names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for config_name, config in configs.items():
+        per_config: Dict[str, SimulationResult] = {}
+        for name in names:
+            per_config[name] = run_workload(name, config, instructions, skip)
+        results[config_name] = per_config
+    return results
+
+
+#: Workloads the profiles target as difficult-branch-prediction; benches
+#: verify the *measured* classification against this expectation.
+EXPECTED_D_BP = (
+    "astar", "bzip2", "gcc", "gobmk", "h264ref", "mcf", "omnetpp",
+    "perlbench", "sjeng", "soplex", "xalancbmk",
+)
+
+
+def dbp_workloads() -> Tuple[str, ...]:
+    """The program set most benches sweep (expected D-BP programs)."""
+    return EXPECTED_D_BP

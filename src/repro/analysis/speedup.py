@@ -1,0 +1,93 @@
+"""Speedup math and program classification for the evaluation.
+
+All of the paper's headline numbers are IPC ratios aggregated with
+geometric means over the D-BP (branch MPKI >= 3.0) program set, with the
+E-BP set reported separately.  Fig. 15(b) additionally converts an IPC
+ratio into a *performance* ratio by scaling the competitor's clock period
+(the age matrix lengthens the IQ critical path by 13%).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..core.stats import D_BP_BRANCH_MPKI_THRESHOLD
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input returns 1.0 (neutral speedup)."""
+    values = list(values)
+    if not values:
+        return 1.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(variant_ipc: float, base_ipc: float) -> float:
+    """IPC ratio (1.0 = no change)."""
+    if base_ipc <= 0:
+        raise ValueError("base IPC must be positive")
+    return variant_ipc / base_ipc
+
+
+def speedup_percent(variant_ipc: float, base_ipc: float) -> float:
+    """Speedup expressed as a percentage over the base."""
+    return (speedup(variant_ipc, base_ipc) - 1.0) * 100.0
+
+
+def performance_ratio_with_clock(
+    ipc_a: float, ipc_b: float, clock_period_factor_b: float
+) -> float:
+    """Performance of A over B when B's clock period is scaled.
+
+    Fig. 15(b): performance = IPC / cycle-time, so
+    ``perf_A / perf_B = (ipc_a / ipc_b) * clock_period_factor_b``.
+    """
+    if clock_period_factor_b <= 0:
+        raise ValueError("clock period factor must be positive")
+    return speedup(ipc_a, ipc_b) * clock_period_factor_b
+
+
+def classify_programs(
+    branch_mpki: Mapping[str, float],
+    threshold: float = D_BP_BRANCH_MPKI_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Split program names into (D-BP, E-BP) by measured branch MPKI."""
+    dbp = sorted(n for n, m in branch_mpki.items() if m >= threshold)
+    ebp = sorted(n for n, m in branch_mpki.items() if m < threshold)
+    return dbp, ebp
+
+
+def gm_speedup(
+    variant_ipc: Mapping[str, float],
+    base_ipc: Mapping[str, float],
+    names: Sequence[str],
+) -> float:
+    """Geometric-mean speedup over the given program subset."""
+    return geometric_mean(
+        speedup(variant_ipc[name], base_ipc[name]) for name in names
+    )
+
+
+def correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient (Fig. 9's trend check)."""
+    n = len(xs)
+    if n != len(ys):
+        raise ValueError("series must have equal length")
+    if n < 2:
+        return 0.0
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    cov = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    vx = sum((x - mx) ** 2 for x in xs)
+    vy = sum((y - my) ** 2 for y in ys)
+    if vx == 0 or vy == 0:
+        return 0.0
+    return cov / math.sqrt(vx * vy)
+
+
+def ipc_map(results: Mapping[str, "object"]) -> Dict[str, float]:
+    """name -> IPC from a name -> SimulationResult mapping."""
+    return {name: result.stats.ipc for name, result in results.items()}

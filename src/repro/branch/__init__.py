@@ -1,0 +1,28 @@
+"""Branch prediction substrate: direction predictors, BTB, and confidence.
+
+The base processor (Table I) uses a perceptron direction predictor with a
+2K-set 4-way BTB; confidence is estimated with saturating resetting
+counters.  Classic predictors (gshare / bimode / tournament) are included
+for the paper's footnote-1 cross-check.
+"""
+
+from .base import AlwaysTakenPredictor, BranchPredictor, PredictorStats
+from .btb import BranchTargetBuffer
+from .classic import BimodePredictor, GsharePredictor, TournamentPredictor
+from .confidence import IdealConfidenceEstimator, ResettingConfidenceCounter
+from .perceptron import PerceptronPredictor
+from .twobit import CounterTable
+
+__all__ = [
+    "AlwaysTakenPredictor",
+    "BranchPredictor",
+    "PredictorStats",
+    "BranchTargetBuffer",
+    "BimodePredictor",
+    "GsharePredictor",
+    "TournamentPredictor",
+    "IdealConfidenceEstimator",
+    "ResettingConfidenceCounter",
+    "PerceptronPredictor",
+    "CounterTable",
+]

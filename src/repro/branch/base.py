@@ -1,0 +1,73 @@
+"""Common interface for conditional-branch direction predictors.
+
+All predictors speculate at fetch time and are updated at branch resolution
+with the true outcome.  Global-history predictors additionally maintain a
+speculative history that the timing model checkpoints and restores on
+misprediction recovery; to keep the interface simple (and because the paper
+evaluates predictor *accuracy* trends, not deep speculative-history effects)
+we update the history non-speculatively at resolution, which is the
+SimpleScalar default behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictorStats:
+    """Aggregate accuracy counters, updated by :meth:`BranchPredictor.update`."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.predictions == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+    def record(self, correct: bool) -> None:
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+
+class BranchPredictor(abc.ABC):
+    """Direction predictor for conditional branches."""
+
+    def __init__(self) -> None:
+        self.stats = PredictorStats()
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction (True = taken) for the branch at ``pc``."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        """Train with the resolved outcome.
+
+        Implementations must call ``self.stats.record(taken == predicted)``.
+        """
+
+    @abc.abstractmethod
+    def storage_bits(self) -> int:
+        """Hardware budget of the predictor in bits (for Fig. 13's costing)."""
+
+    def storage_kib(self) -> float:
+        """Hardware budget in KiB."""
+        return self.storage_bits() / 8 / 1024
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Degenerate predictor used as a baseline in tests."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(taken == predicted)
+
+    def storage_bits(self) -> int:
+        return 0

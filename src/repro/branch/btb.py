@@ -1,0 +1,60 @@
+"""Branch target buffer.
+
+Table I specifies a 2K-set 4-way BTB.  The BTB caches the taken-path target
+of branches; a predicted-taken branch that misses in the BTB cannot redirect
+fetch and is treated as not-taken by the front end (the usual SimpleScalar
+behaviour), which resolves as a misprediction if the branch was taken.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class BranchTargetBuffer:
+    """Set-associative, true-LRU branch target buffer."""
+
+    def __init__(self, num_sets: int = 2048, assoc: int = 4):
+        if num_sets < 1 or num_sets & (num_sets - 1):
+            raise ValueError("num_sets must be a power of two")
+        if assoc < 1:
+            raise ValueError("assoc must be positive")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        # Each set is an MRU-ordered list of (tag, target) pairs.
+        self._sets: List[List[Tuple[int, int]]] = [[] for _ in range(num_sets)]
+        self.lookups = 0
+        self.hits = 0
+
+    def _index_tag(self, pc: int) -> Tuple[int, int]:
+        word = pc >> 2
+        return word & (self.num_sets - 1), word >> self.num_sets.bit_length() - 1
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """The cached taken-target of ``pc``, or None on a BTB miss."""
+        self.lookups += 1
+        index, tag = self._index_tag(pc)
+        ways = self._sets[index]
+        for i, (t, target) in enumerate(ways):
+            if t == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                self.hits += 1
+                return target
+        return None
+
+    def install(self, pc: int, target: int) -> None:
+        """Record (or refresh) the taken-target of ``pc``."""
+        index, tag = self._index_tag(pc)
+        ways = self._sets[index]
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self.assoc:
+            ways.pop()
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 1.0

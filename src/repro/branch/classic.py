@@ -1,0 +1,147 @@
+"""Classic table-based direction predictors: gshare, bimode, tournament.
+
+The paper's footnote 1 validates its astar branch-MPKI observation against
+"other branch predictors (e.g., gshare, bimode, and tournament predictors)";
+we provide the same trio so the reproduction can run the same cross-check
+(`benchmarks/bench_ablation_predictors.py`).
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+from .twobit import CounterTable
+
+
+class GsharePredictor(BranchPredictor):
+    """PC xor global-history indexed 2-bit counter table (McFarling 1993)."""
+
+    def __init__(self, table_size: int = 4096, history_length: int = 12):
+        super().__init__()
+        self.table = CounterTable(table_size)
+        self.history_length = history_length
+        self._history = 0
+        self._hmask = (1 << history_length) - 1
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self.table.index_mask()
+
+    def predict(self, pc: int) -> bool:
+        return self.table.taken(self._index(pc))
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(taken == predicted)
+        self.table.train(self._index(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._hmask
+
+    def storage_bits(self) -> int:
+        return self.table.storage_bits() + self.history_length
+
+
+class BimodePredictor(BranchPredictor):
+    """Bi-mode predictor (Lee, Chen & Mudge, MICRO 1997).
+
+    A choice table selects between a taken-biased and a not-taken-biased
+    direction table, both gshare-indexed; only the selected table trains
+    (plus the choicer, unless it disagrees while the outcome was predicted
+    correctly).
+    """
+
+    def __init__(self, table_size: int = 2048, history_length: int = 11):
+        super().__init__()
+        self.taken_table = CounterTable(table_size, init=CounterTable.WEAK_TAKEN)
+        self.not_taken_table = CounterTable(table_size, init=CounterTable.WEAK_NOT_TAKEN)
+        self.choice_table = CounterTable(table_size)
+        self.history_length = history_length
+        self._history = 0
+        self._hmask = (1 << history_length) - 1
+
+    def _direction_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self.taken_table.index_mask()
+
+    def _choice_index(self, pc: int) -> int:
+        return (pc >> 2) & self.choice_table.index_mask()
+
+    def _select(self, pc: int) -> CounterTable:
+        if self.choice_table.taken(self._choice_index(pc)):
+            return self.taken_table
+        return self.not_taken_table
+
+    def predict(self, pc: int) -> bool:
+        return self._select(pc).taken(self._direction_index(pc))
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(taken == predicted)
+        chooser_taken = self.choice_table.taken(self._choice_index(pc))
+        selected = self.taken_table if chooser_taken else self.not_taken_table
+        direction_correct = selected.taken(self._direction_index(pc)) == taken
+        # Bi-mode update rule: the chooser is not trained when it steered to
+        # a table that predicted correctly against the chooser's own bias.
+        if not (direction_correct and chooser_taken != taken):
+            self.choice_table.train(self._choice_index(pc), taken)
+        selected.train(self._direction_index(pc), taken)
+        self._history = ((self._history << 1) | int(taken)) & self._hmask
+
+    def storage_bits(self) -> int:
+        return (
+            self.taken_table.storage_bits()
+            + self.not_taken_table.storage_bits()
+            + self.choice_table.storage_bits()
+            + self.history_length
+        )
+
+
+class TournamentPredictor(BranchPredictor):
+    """Alpha 21264-style tournament of a local and a global predictor."""
+
+    def __init__(
+        self,
+        local_table_size: int = 1024,
+        local_history_length: int = 10,
+        global_table_size: int = 4096,
+        global_history_length: int = 12,
+    ):
+        super().__init__()
+        self.local_histories = [0] * local_table_size
+        self.local_table = CounterTable(1 << local_history_length)
+        self.global_table = CounterTable(global_table_size)
+        self.choice_table = CounterTable(global_table_size)
+        self.local_history_length = local_history_length
+        self.global_history_length = global_history_length
+        self._lmask = (1 << local_history_length) - 1
+        self._history = 0
+        self._hmask = (1 << global_history_length) - 1
+
+    def _local_predict(self, pc: int) -> bool:
+        hist = self.local_histories[(pc >> 2) % len(self.local_histories)]
+        return self.local_table.taken(hist)
+
+    def _global_predict(self) -> bool:
+        return self.global_table.taken(self._history)
+
+    def predict(self, pc: int) -> bool:
+        if self.choice_table.taken(self._history):
+            return self._global_predict()
+        return self._local_predict(pc)
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(taken == predicted)
+        local_pred = self._local_predict(pc)
+        global_pred = self._global_predict()
+        if local_pred != global_pred:
+            self.choice_table.train(self._history, global_pred == taken)
+        slot = (pc >> 2) % len(self.local_histories)
+        self.local_table.train(self.local_histories[slot], taken)
+        self.local_histories[slot] = (
+            (self.local_histories[slot] << 1) | int(taken)
+        ) & self._lmask
+        self.global_table.train(self._history, taken)
+        self._history = ((self._history << 1) | int(taken)) & self._hmask
+
+    def storage_bits(self) -> int:
+        return (
+            len(self.local_histories) * self.local_history_length
+            + self.local_table.storage_bits()
+            + self.global_table.storage_bits()
+            + self.choice_table.storage_bits()
+            + self.global_history_length
+        )

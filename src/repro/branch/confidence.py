@@ -1,0 +1,103 @@
+"""Branch-prediction confidence estimation.
+
+Sec. III-A1 of the paper estimates confidence with *saturating resetting
+counters* (Jacobsen, Rotenberg & Smith, MICRO 1996): a per-branch counter
+increments on every correct prediction, saturates at its maximum, and resets
+to zero on any misprediction.  A branch is **confident** only while its
+counter sits at the maximum; a branch with no allocated counter is treated as
+confident ("the confidence counter is not obtained or it indicates the
+maximum confidence" -- Sec. III-A3).
+
+:class:`ResettingConfidenceCounter` is the counter itself; the
+set-associative, hashed-tag ``conf_tab`` that stores one per branch PC lives
+in :mod:`repro.pubs.tables`.  :class:`IdealConfidenceEstimator` is the
+unbounded-table reference used by unit tests and the tagless ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class ResettingConfidenceCounter:
+    """A single saturating resetting counter of ``bits`` width."""
+
+    bits: int
+    value: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("counter width must be at least 1 bit")
+        if not 0 <= self.value <= self.maximum:
+            raise ValueError("counter value out of range")
+
+    @property
+    def maximum(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def confident(self) -> bool:
+        """Confident only at saturation (Sec. III-A1)."""
+        return self.value == self.maximum
+
+    def reset_to_correct(self) -> None:
+        """Initialization on allocation after a correct prediction."""
+        self.value = self.maximum
+
+    def reset_to_incorrect(self) -> None:
+        """Initialization on allocation after a misprediction."""
+        self.value = 0
+
+    def train(self, correct: bool) -> None:
+        """Post-allocation update: +1 saturating on correct, reset on wrong."""
+        if correct:
+            if self.value < self.maximum:
+                self.value += 1
+        else:
+            self.value = 0
+
+
+class IdealConfidenceEstimator:
+    """Reference estimator with one counter per branch PC, no conflicts.
+
+    Mirrors the allocation policy of Sec. III-A1: the first resolution of a
+    branch initializes its counter to the maximum on a correct prediction and
+    to zero otherwise; later resolutions train the counter.
+    """
+
+    def __init__(self, counter_bits: int = 6):
+        if counter_bits < 1:
+            raise ValueError("counter width must be at least 1 bit")
+        self.counter_bits = counter_bits
+        self._counters: Dict[int, ResettingConfidenceCounter] = {}
+        self.queries = 0
+        self.unconfident_queries = 0
+
+    def is_confident(self, pc: int) -> bool:
+        """Confidence of the branch at ``pc`` (unallocated => confident)."""
+        self.queries += 1
+        counter = self._counters.get(pc)
+        confident = counter is None or counter.confident
+        if not confident:
+            self.unconfident_queries += 1
+        return confident
+
+    def train(self, pc: int, correct: bool) -> None:
+        """Update with a resolved prediction outcome."""
+        counter = self._counters.get(pc)
+        if counter is None:
+            counter = ResettingConfidenceCounter(self.counter_bits)
+            if correct:
+                counter.reset_to_correct()
+            else:
+                counter.reset_to_incorrect()
+            self._counters[pc] = counter
+        else:
+            counter.train(correct)
+
+    @property
+    def unconfident_rate(self) -> float:
+        """Fraction of queries that returned "unconfident" (Fig. 11's line)."""
+        return self.unconfident_queries / self.queries if self.queries else 0.0

@@ -1,0 +1,76 @@
+"""Perceptron branch predictor (Jimenez & Lin, HPCA 2001).
+
+The paper's base processor uses a perceptron predictor with a 34-bit global
+history and a 256-entry weight table (Table I); the enlarged predictor of
+Fig. 13 uses a 36-bit history and a 512-entry table (+8.4 KB).  Both are
+instances of this class.
+
+Prediction: the weight vector selected by ``pc mod table_size`` is dotted
+with the global history (encoded as +1 for taken, -1 for not-taken) plus a
+bias weight; a non-negative output predicts taken.  Training: on a
+misprediction, or when ``|output| <= theta``, each weight moves toward the
+outcome.  ``theta = floor(1.93 * history_length + 14)`` is the threshold from
+the original paper, and weights saturate at the 8-bit signed range used
+there.
+"""
+
+from __future__ import annotations
+
+from .base import BranchPredictor
+
+_WEIGHT_MAX = 127
+_WEIGHT_MIN = -128
+
+
+class PerceptronPredictor(BranchPredictor):
+    """Global-history perceptron predictor."""
+
+    def __init__(self, history_length: int = 34, table_size: int = 256):
+        super().__init__()
+        if history_length < 1:
+            raise ValueError("history_length must be positive")
+        if table_size < 1:
+            raise ValueError("table_size must be positive")
+        self.history_length = history_length
+        self.table_size = table_size
+        self.theta = int(1.93 * history_length + 14)
+        # weights[i][0] is the bias; weights[i][1..h] pair with history bits.
+        self._weights = [[0] * (history_length + 1) for _ in range(table_size)]
+        # History as +/-1 ints, most recent last.
+        self._history = [-1] * history_length
+
+    def _row(self, pc: int) -> list:
+        return self._weights[(pc >> 2) % self.table_size]
+
+    def _output(self, pc: int) -> int:
+        w = self._row(pc)
+        h = self._history
+        total = w[0]
+        for i in range(self.history_length):
+            total += w[i + 1] * h[i]
+        return total
+
+    def predict(self, pc: int) -> bool:
+        return self._output(pc) >= 0
+
+    def update(self, pc: int, taken: bool, predicted: bool) -> None:
+        self.stats.record(taken == predicted)
+        output = self._output(pc)
+        t = 1 if taken else -1
+        if (output >= 0) != taken or abs(output) <= self.theta:
+            w = self._row(pc)
+            b = w[0] + t
+            w[0] = _WEIGHT_MAX if b > _WEIGHT_MAX else (_WEIGHT_MIN if b < _WEIGHT_MIN else b)
+            h = self._history
+            for i in range(self.history_length):
+                v = w[i + 1] + (t if h[i] > 0 else -t)
+                w[i + 1] = _WEIGHT_MAX if v > _WEIGHT_MAX else (
+                    _WEIGHT_MIN if v < _WEIGHT_MIN else v
+                )
+        self._history.pop(0)
+        self._history.append(t)
+
+    def storage_bits(self) -> int:
+        # 8-bit weights, (history_length + 1) per entry, plus the history
+        # register itself.
+        return self.table_size * (self.history_length + 1) * 8 + self.history_length

@@ -1,0 +1,46 @@
+"""Two-bit saturating counters, the shared building block of the classic
+table predictors (gshare, bimode, tournament) used for the paper's
+footnote-1 cross-check of astar's extraordinary branch MPKI.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CounterTable:
+    """A table of 2-bit saturating up/down counters."""
+
+    STRONG_NOT_TAKEN = 0
+    WEAK_NOT_TAKEN = 1
+    WEAK_TAKEN = 2
+    STRONG_TAKEN = 3
+
+    def __init__(self, size: int, init: int = WEAK_NOT_TAKEN):
+        if size < 1 or size & (size - 1):
+            raise ValueError("counter table size must be a power of two")
+        if not 0 <= init <= 3:
+            raise ValueError("2-bit counter init out of range")
+        self.size = size
+        self._counters: List[int] = [init] * size
+
+    def index_mask(self) -> int:
+        return self.size - 1
+
+    def taken(self, index: int) -> bool:
+        return self._counters[index & (self.size - 1)] >= self.WEAK_TAKEN
+
+    def value(self, index: int) -> int:
+        return self._counters[index & (self.size - 1)]
+
+    def train(self, index: int, taken: bool) -> None:
+        i = index & (self.size - 1)
+        c = self._counters[i]
+        if taken:
+            if c < self.STRONG_TAKEN:
+                self._counters[i] = c + 1
+        elif c > self.STRONG_NOT_TAKEN:
+            self._counters[i] = c - 1
+
+    def storage_bits(self) -> int:
+        return 2 * self.size

@@ -1,0 +1,197 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+
+* ``list``                      -- the 28 workloads and their profiles
+* ``run WORKLOAD``              -- simulate one workload on one machine
+* ``compare WORKLOAD``          -- base vs PUBS side by side
+* ``suite``                     -- Fig. 8-style sweep over many workloads
+* ``cost``                      -- Table III hardware cost
+* ``disasm WORKLOAD``           -- generated program listing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import geometric_mean, render_table, run_pair, run_workload
+from .core import ProcessorConfig
+from .pubs import PubsConfig, pubs_hardware_cost
+from .workloads import build_program, get_profile, spec2006_profiles
+
+
+def _machine_from_args(args) -> ProcessorConfig:
+    cfg = ProcessorConfig.cortex_a72_like(
+        iq_organization=args.iq_org,
+        distributed_iq=args.distributed,
+    )
+    if args.age_matrix:
+        cfg = cfg.with_age_matrix()
+    if args.pubs:
+        cfg = cfg.with_pubs(PubsConfig(
+            priority_entries=args.priority_entries,
+            stall_policy=not args.non_stall,
+        ))
+    return cfg
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pubs", action="store_true",
+                        help="enable PUBS (Table II defaults)")
+    parser.add_argument("--priority-entries", type=int, default=6,
+                        help="PUBS priority entries (default 6)")
+    parser.add_argument("--non-stall", action="store_true",
+                        help="use the non-stall dispatch policy")
+    parser.add_argument("--age-matrix", action="store_true",
+                        help="add the age matrix to the IQ")
+    parser.add_argument("--iq-org", default="random",
+                        choices=["random", "shifting", "circular"],
+                        help="IQ organization (Sec. III-B1)")
+    parser.add_argument("--distributed", action="store_true",
+                        help="distribute the IQ per FU class (Sec. III-C2)")
+
+
+def _add_budget_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", "--instructions", type=int, default=10_000,
+                        help="committed instructions to simulate")
+    parser.add_argument("--skip", type=int, default=10_000,
+                        help="instructions fast-forwarded for warm-up")
+
+
+def _cmd_list(args) -> int:
+    rows = []
+    for name, profile in sorted(spec2006_profiles().items()):
+        rows.append([name, profile.hard_branch_sites,
+                     profile.data_footprint_bytes // 1024,
+                     profile.description])
+    print(render_table(
+        ["workload", "hard branches", "footprint KB", "description"], rows))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    config = _machine_from_args(args)
+    result = run_workload(args.workload, config, args.instructions, args.skip)
+    print(result.summary())
+    s = result.stats
+    print(render_table(["metric", "value"], [
+        ["IPC", f"{s.ipc:.3f}"],
+        ["branch MPKI", f"{s.branch_mpki:.2f}"],
+        ["LLC MPKI", f"{s.llc_mpki:.2f}"],
+        ["prediction accuracy", f"{result.predictor_accuracy:.3%}"],
+        ["misspec penalty/branch", f"{s.avg_missspec_penalty:.1f} cycles"],
+        ["  IQ-wait component", f"{s.avg_missspec_iq_wait:.1f} cycles"],
+        ["classification",
+         ("D-BP" if s.is_difficult_branch_prediction else "E-BP") + " / "
+         + ("memory" if s.is_memory_intensive else "compute") + "-intensive"],
+    ]))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    base = ProcessorConfig.cortex_a72_like()
+    variant = _machine_from_args(args)
+    if variant == base:  # default comparison is against PUBS
+        variant = base.with_pubs()
+    pair = run_pair(args.workload, base, variant, args.instructions, args.skip)
+    b, v = pair.base.stats, pair.variant.stats
+    print(render_table(["metric", "base", "variant"], [
+        ["IPC", f"{b.ipc:.3f}", f"{v.ipc:.3f}"],
+        ["misspec penalty/branch", f"{b.avg_missspec_penalty:.1f}",
+         f"{v.avg_missspec_penalty:.1f}"],
+        ["IQ wait/branch", f"{b.avg_missspec_iq_wait:.1f}",
+         f"{v.avg_missspec_iq_wait:.1f}"],
+    ]))
+    print(f"\nspeedup: {pair.speedup_percent:+.2f}%")
+    return 0
+
+
+def _cmd_suite(args) -> int:
+    base = ProcessorConfig.cortex_a72_like()
+    variant = _machine_from_args(args)
+    if variant == base:
+        variant = base.with_pubs()
+    names = args.workloads or sorted(spec2006_profiles())
+    rows = []
+    dbp_ratios, ebp_ratios = [], []
+    for name in names:
+        pair = run_pair(name, base, variant, args.instructions, args.skip)
+        dbp = pair.base.stats.is_difficult_branch_prediction
+        (dbp_ratios if dbp else ebp_ratios).append(pair.speedup)
+        rows.append([name, "D-BP" if dbp else "E-BP",
+                     pair.base.stats.branch_mpki, pair.base.stats.llc_mpki,
+                     pair.speedup_percent])
+        print(f"  {name}: {pair.speedup_percent:+.2f}%", file=sys.stderr)
+    rows.sort(key=lambda r: (r[1], -r[2]))
+    print(render_table(
+        ["workload", "set", "branch MPKI", "LLC MPKI", "speedup %"], rows))
+    if dbp_ratios:
+        print(f"\nGM D-BP: {(geometric_mean(dbp_ratios) - 1) * 100:+.2f}%")
+    if ebp_ratios:
+        print(f"GM E-BP: {(geometric_mean(ebp_ratios) - 1) * 100:+.2f}%")
+    return 0
+
+
+def _cmd_cost(args) -> int:
+    cost = pubs_hardware_cost(PubsConfig())
+    print(render_table(["table", "KB"], cost.rows()))
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    program = build_program(get_profile(args.workload))
+    print(program.listing())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PUBS (MICRO 2018) reproduction: simulate workloads on "
+                    "the paper's machines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads")
+
+    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run.add_argument("workload")
+    _add_machine_args(p_run)
+    _add_budget_args(p_run)
+
+    p_cmp = sub.add_parser("compare", help="base vs variant on one workload")
+    p_cmp.add_argument("workload")
+    _add_machine_args(p_cmp)
+    _add_budget_args(p_cmp)
+
+    p_suite = sub.add_parser("suite", help="sweep many workloads (Fig. 8)")
+    p_suite.add_argument("--workloads", nargs="*", default=None)
+    _add_machine_args(p_suite)
+    _add_budget_args(p_suite)
+
+    sub.add_parser("cost", help="print the Table III hardware cost")
+
+    p_dis = sub.add_parser("disasm", help="print a workload's generated code")
+    p_dis.add_argument("workload")
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "suite": _cmd_suite,
+    "cost": _cmd_cost,
+    "disasm": _cmd_disasm,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0

@@ -1,0 +1,153 @@
+"""Processor configuration (the paper's Tables I, II and IV).
+
+:meth:`ProcessorConfig.cortex_a72_like` is the paper's base machine: 4-wide
+pipeline, 64-entry IQ, 128-entry ROB, 64-entry LSQ, 128+128 physical
+registers, 2 iALU / 1 iMULT-DIV / 2 Ld-St / 2 FPU, perceptron predictor
+(34-bit history, 256-entry weight table), 2K-set 4-way BTB, 10-cycle state
+recovery penalty, and the Table I memory hierarchy.
+
+:func:`size_models` provides the four scaled processors of Table IV /
+Fig. 16.  The paper scales seven parameters (window structures and issue
+resources); window capacity grows faster than issue bandwidth, which is why
+issue conflicts -- and the value of criticality-aware selection -- grow with
+processor size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from ..iq.select import FuPool
+from ..memory.hierarchy import MemoryConfig
+from ..pubs.config import PubsConfig
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Direction predictor + BTB configuration."""
+
+    kind: str = "perceptron"  #: perceptron | gshare | bimode | tournament
+    history_length: int = 34
+    table_size: int = 256
+    btb_sets: int = 2048
+    btb_assoc: int = 4
+
+    def enlarged(self) -> "PredictorConfig":
+        """Fig. 13's enlarged perceptron: 36-bit history, 512-entry table."""
+        return replace(self, history_length=36, table_size=512)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Complete machine configuration."""
+
+    name: str = "medium"
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    #: Cycles from fetch to earliest possible dispatch (front-end depth).
+    frontend_depth: int = 5
+    rob_size: int = 128
+    iq_size: int = 64
+    lsq_size: int = 64
+    int_phys_regs: int = 128
+    fp_phys_regs: int = 128
+    #: State recovery penalty on a branch misprediction (Table I).
+    recovery_penalty: int = 10
+    fu_pool: FuPool = field(default_factory=FuPool)
+    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    #: Add the age matrix to the IQ (the AGE / PUBS+AGE models of Sec. V-G).
+    use_age_matrix: bool = False
+    #: IQ organization (Sec. III-B1 taxonomy): "random" (modern baseline,
+    #: the only one PUBS and the age matrix apply to), "shifting"
+    #: (age-compacting, Alpha 21264 style) or "circular".
+    iq_organization: str = "random"
+    #: Distribute the IQ among function-unit classes (Sec. III-C2, AMD Zen
+    #: style).  Composes with PUBS (each per-class queue gets its own
+    #: priority partition) but not with the age matrix or the non-random
+    #: organizations.
+    distributed_iq: bool = False
+    #: Wrong-path load handling: "idle" charges L1-hit latency without
+    #: touching the cache (the standard trace-driven simplification);
+    #: "pollute" synthesizes near-recent-data addresses and really accesses
+    #: the hierarchy, modelling wrong-path cache pollution/prefetch effects.
+    wrong_path_memory: str = "idle"
+    pubs: PubsConfig = field(default_factory=PubsConfig.disabled)
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        for n in ("fetch_width", "decode_width", "issue_width", "commit_width",
+                  "frontend_depth", "rob_size", "iq_size", "lsq_size",
+                  "int_phys_regs", "fp_phys_regs"):
+            if getattr(self, n) < 1:
+                raise ValueError(f"{n} must be positive")
+        if self.recovery_penalty < 0:
+            raise ValueError("recovery_penalty must be non-negative")
+        if self.pubs.enabled and self.pubs.priority_entries >= self.iq_size:
+            raise ValueError("priority entries must leave normal IQ entries")
+        if self.iq_organization not in ("random", "shifting", "circular"):
+            raise ValueError(f"unknown IQ organization: {self.iq_organization}")
+        if self.iq_organization != "random" and self.pubs.enabled:
+            raise ValueError("PUBS applies to the random queue only (Sec. III-B)")
+        if self.iq_organization != "random" and self.use_age_matrix:
+            raise ValueError("the age matrix augments the random queue only")
+        if self.distributed_iq and self.iq_organization != "random":
+            raise ValueError("the distributed IQ uses random per-class queues")
+        if self.distributed_iq and self.use_age_matrix:
+            raise ValueError("the age matrix is a unified-IQ circuit")
+        if self.wrong_path_memory not in ("idle", "pollute"):
+            raise ValueError(
+                f"unknown wrong-path memory policy: {self.wrong_path_memory}")
+
+    # ------------------------------------------------------------------
+    # Named configurations
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def cortex_a72_like(**overrides) -> "ProcessorConfig":
+        """The paper's Table I base processor (no PUBS, no age matrix)."""
+        return ProcessorConfig(**overrides)
+
+    def with_pubs(self, pubs: PubsConfig = None) -> "ProcessorConfig":
+        """This machine with PUBS enabled (default Table II parameters)."""
+        return replace(self, pubs=pubs or PubsConfig())
+
+    def with_age_matrix(self) -> "ProcessorConfig":
+        """This machine with the age matrix added to the IQ."""
+        return replace(self, use_age_matrix=True)
+
+    def with_overrides(self, **kwargs) -> "ProcessorConfig":
+        return replace(self, **kwargs)
+
+
+def size_models() -> Dict[str, ProcessorConfig]:
+    """The four processor sizes of Table IV (Fig. 16's sweep).
+
+    Window capacity (IQ/LSQ/ROB/registers) doubles from one end to the
+    other while issue width and FU counts grow sub-linearly, so larger
+    models see more issue conflicts, as in the paper.
+    """
+    return {
+        "small": ProcessorConfig(
+            name="small", fetch_width=3, decode_width=3, issue_width=3,
+            commit_width=3, iq_size=32, lsq_size=32, rob_size=64,
+            int_phys_regs=96, fp_phys_regs=96,
+            fu_pool=FuPool(ialu=2, imult=1, ldst=1, fpu=1),
+        ),
+        "medium": ProcessorConfig(name="medium"),
+        "large": ProcessorConfig(
+            name="large", fetch_width=5, decode_width=5, issue_width=5,
+            commit_width=5, iq_size=96, lsq_size=96, rob_size=192,
+            int_phys_regs=192, fp_phys_regs=192,
+            fu_pool=FuPool(ialu=3, imult=1, ldst=2, fpu=2),
+        ),
+        "huge": ProcessorConfig(
+            name="huge", fetch_width=6, decode_width=6, issue_width=6,
+            commit_width=6, iq_size=128, lsq_size=128, rob_size=256,
+            int_phys_regs=256, fp_phys_regs=256,
+            fu_pool=FuPool(ialu=3, imult=2, ldst=3, fpu=3),
+        ),
+    }

@@ -1,0 +1,512 @@
+"""Cycle-level out-of-order superscalar pipeline.
+
+The machine of Table I: in-order front end (fetch through dispatch), a
+random-queue IQ with position-based select (optionally partitioned for PUBS
+and/or augmented with an age matrix), out-of-order issue constrained by the
+function-unit mix, a reorder buffer committing in order, a load/store queue
+with store-to-load forwarding, checkpointed misprediction recovery, and the
+two-level cache hierarchy with a stream prefetcher.
+
+Execution is oracle-assisted trace-driven: a :class:`~repro.isa.executor.
+TraceCursor` supplies the architecturally-correct instruction stream; on a
+branch misprediction the front end walks the *static* code along the
+predicted path, injecting wrong-path uops that occupy rename registers, IQ
+entries, LSQ entries and function units until recovery -- the resource
+contention that makes issue priority matter.  Wrong-path branches never
+redirect fetch themselves and wrong-path memory ops do not touch the cache
+(standard trace-driven simplifications; see DESIGN.md).
+
+Per-cycle processing order is commit, writeback, issue, dispatch, fetch, so
+results written back in cycle ``c`` can feed an issue in cycle ``c`` only
+through the pre-scheduled ready cycles (producers set their consumers'
+earliest issue cycle at their own issue), giving back-to-back issue of
+dependent single-cycle operations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..branch.base import BranchPredictor
+from ..branch.btb import BranchTargetBuffer
+from ..branch.classic import BimodePredictor, GsharePredictor, TournamentPredictor
+from ..branch.perceptron import PerceptronPredictor
+from ..iq.age_matrix import AgeMatrix
+from ..iq.distributed import DistributedIssueQueue, DistributedSelectLogic
+from ..iq.ordered import CircularQueue, ShiftingQueue
+from ..iq.queue import IssueQueue
+from ..iq.select import SelectLogic
+from ..isa.executor import FunctionalExecutor, TraceCursor
+from ..isa.instruction import INST_BYTES, Program
+from ..isa.opcodes import Opcode, latency as op_latency
+from ..memory.hierarchy import MemoryHierarchy
+from ..pubs.mode_switch import ModeSwitch
+from ..pubs.slice_tracker import SliceTracker
+from .config import ProcessorConfig
+from .lsq import LoadStoreQueue
+from .rename import Renamer
+from .rob import ReorderBuffer
+from .stats import SimStats
+from .uop import Uop
+
+
+def build_predictor(config: ProcessorConfig) -> BranchPredictor:
+    """Instantiate the configured direction predictor."""
+    p = config.predictor
+    if p.kind == "perceptron":
+        return PerceptronPredictor(p.history_length, p.table_size)
+    if p.kind == "gshare":
+        return GsharePredictor(p.table_size, p.history_length)
+    if p.kind == "bimode":
+        return BimodePredictor(p.table_size, p.history_length)
+    if p.kind == "tournament":
+        return TournamentPredictor()
+    raise ValueError(f"unknown predictor kind: {p.kind}")
+
+
+class DeadlockError(RuntimeError):
+    """The pipeline made no commit progress for an implausible interval."""
+
+
+class Pipeline:
+    """One simulated core running one program."""
+
+    def __init__(self, program: Program, config: ProcessorConfig = None,
+                 mem_seed: int = 0):
+        self.config = config or ProcessorConfig.cortex_a72_like()
+        cfg = self.config
+        self.program = program
+        self.executor = FunctionalExecutor(program, mem_seed=mem_seed)
+        self.cursor = TraceCursor(self.executor)
+        self.predictor = build_predictor(cfg)
+        self.btb = BranchTargetBuffer(cfg.predictor.btb_sets, cfg.predictor.btb_assoc)
+        self.hierarchy = MemoryHierarchy(cfg.memory)
+        self.slice_tracker = SliceTracker(cfg.pubs)
+        self.mode_switch = ModeSwitch(
+            cfg.pubs.mode_switch_threshold_mpki,
+            cfg.pubs.mode_switch_interval,
+            enabled=cfg.pubs.enabled and cfg.pubs.mode_switch_enabled,
+        )
+        priority_entries = cfg.pubs.priority_entries if cfg.pubs.enabled else 0
+        self.age_matrix = AgeMatrix(cfg.iq_size) if cfg.use_age_matrix else None
+        if cfg.distributed_iq:
+            self.iq = DistributedIssueQueue(cfg.iq_size, cfg.fu_pool,
+                                            priority_entries, seed=cfg.seed)
+            self.select_logic = DistributedSelectLogic(cfg.issue_width, cfg.fu_pool)
+        elif cfg.iq_organization == "shifting":
+            self.iq = ShiftingQueue(cfg.iq_size)
+            self.select_logic = SelectLogic(cfg.issue_width, cfg.fu_pool)
+        elif cfg.iq_organization == "circular":
+            self.iq = CircularQueue(cfg.iq_size)
+            self.select_logic = SelectLogic(cfg.issue_width, cfg.fu_pool)
+        else:
+            self.iq = IssueQueue(cfg.iq_size, priority_entries, seed=cfg.seed)
+            self.select_logic = SelectLogic(cfg.issue_width, cfg.fu_pool,
+                                            self.age_matrix)
+        self.renamer = Renamer(cfg.int_phys_regs, cfg.fp_phys_regs)
+        self.rob = ReorderBuffer(cfg.rob_size)
+        self.lsq = LoadStoreQueue(cfg.lsq_size)
+        self.stats = SimStats()
+
+        self.cycle = 0
+        self._next_seq = 0
+        self._next_trace_seq = 0
+        self._wrong_path_pc: Optional[int] = None  # None => fetching the trace
+        self._fetch_resume_cycle = 0  # recovery redirect / I-miss stall
+        self._last_ifetch_line = -1
+        self._frontend: Deque[Uop] = deque()
+        self._frontend_capacity = cfg.fetch_width * (cfg.frontend_depth + 2)
+        self._events: Dict[int, List[Uop]] = {}
+        self._forward_latency = 2  # store-to-load forwarding (L1-hit-like)
+        self._commit_limit: Optional[int] = None
+        #: Optional callback invoked with every committing uop (fidelity
+        #: checks, tracing).  Keep it cheap: it runs on the commit path.
+        self.commit_hook = None
+        #: Timeline records of the most recent misprediction recoveries:
+        #: (pc, fetch, dispatch, issue, complete) cycles per Fig. 1.
+        self.misprediction_log: Deque[tuple] = deque(maxlen=64)
+        self._last_data_addr = 1 << 30  # for wrong-path address synthesis
+
+    # ==================================================================
+    # Public driver
+    # ==================================================================
+
+    def run(self, max_instructions: int, skip_instructions: int = 0,
+            max_cycles: Optional[int] = None) -> SimStats:
+        """Simulate until ``max_instructions`` commit.
+
+        ``skip_instructions`` fast-forwards the functional executor before
+        timing starts (the paper skips 16G instructions before its 100M
+        sample).  ``max_cycles`` bounds runaway simulations; a run that
+        exhausts it raises :class:`DeadlockError`.
+        """
+        if max_instructions < 1:
+            raise ValueError("max_instructions must be positive")
+        self._prewarm_regions()
+        for _ in range(skip_instructions):
+            self._warm(self.executor.step())
+            self._next_trace_seq += 1
+        self.cursor.release(self._next_trace_seq)
+        self._commit_limit = self.stats.committed + max_instructions
+        limit = max_cycles if max_cycles is not None else 500 * max_instructions + 100_000
+        while self.stats.committed < self._commit_limit:
+            self.step()
+            if self.cycle > limit:
+                raise DeadlockError(
+                    f"no completion after {self.cycle} cycles "
+                    f"({self.stats.committed} committed)"
+                )
+        self._finalize_stats()
+        return self.stats
+
+    def _prewarm_regions(self) -> None:
+        """Install the program's cacheable data regions into the L2.
+
+        Models resuming from a warmed checkpoint: regions are warmed oldest-
+        first while they cumulatively fit in 3/4 of the LLC (their steady
+        state); larger regions stay cold because their steady state *is*
+        missing.
+        """
+        l2 = self.hierarchy.l2
+        budget = l2.config.size_bytes * 3 // 4
+        line = l2.config.line_bytes
+        warmed = 0
+        for start, size in self.program.warm_regions:
+            if warmed + size > budget:
+                continue
+            warmed += size
+            for addr in range(start, start + size, line):
+                l2.install(addr)
+
+    def _warm(self, record) -> None:
+        """Train warm-state structures with one skipped instruction.
+
+        The skip phase models fast-forwarding from a checkpoint: caches,
+        the branch predictor, the BTB and the confidence table see the
+        skipped stream (functionally, without timing), so timing starts
+        from a representative microarchitectural state.
+        """
+        inst = record.inst
+        line = inst.pc >> 6
+        if line != self._last_ifetch_line:
+            self.hierarchy.warm_ifetch(inst.pc)
+            self._last_ifetch_line = line
+        if record.mem_addr is not None:
+            self.hierarchy.warm_data(record.mem_addr)
+        elif inst.is_conditional_branch:
+            predicted = self.predictor.predict(inst.pc)
+            self.predictor.update(inst.pc, record.taken, predicted)
+            if record.taken:
+                self.btb.install(inst.pc, record.next_pc)
+            if self.config.pubs.enabled:
+                self.slice_tracker.on_branch_resolved(
+                    inst.pc, correct=predicted == record.taken
+                )
+
+    def step(self) -> None:
+        """Advance one clock cycle."""
+        self.cycle += 1
+        self.stats.cycles += 1
+        self._commit()
+        self._writeback()
+        self._issue()
+        self._dispatch()
+        self._fetch()
+        self.stats.iq_occupancy_sum += self.iq.occupancy
+
+    def _finalize_stats(self) -> None:
+        self.stats.llc_misses = self.hierarchy.stats.l2_misses
+        self.stats.l1d_misses = self.hierarchy.stats.l1d_misses
+
+    # ==================================================================
+    # Commit
+    # ==================================================================
+
+    def _commit(self) -> None:
+        cycle = self.cycle
+        for _ in range(self.config.commit_width):
+            if self._commit_limit is not None and \
+                    self.stats.committed >= self._commit_limit:
+                break
+            uop = self.rob.head()
+            if uop is None or not uop.completed:
+                break
+            self.rob.pop_head()
+            self.renamer.release_committed(uop)
+            if uop.in_lsq:
+                self.lsq.remove_committed(uop)
+                if uop.inst.is_store and uop.mem_addr is not None:
+                    self.hierarchy.store(cycle, uop.mem_addr)
+            if uop.inst.is_conditional_branch:
+                self.stats.cond_branches += 1
+                if uop.mispredicted:
+                    self.stats.mispredictions += 1
+                self.slice_tracker.on_branch_resolved(
+                    uop.inst.pc, correct=not uop.mispredicted
+                )
+            self.stats.committed += 1
+            if self.commit_hook is not None:
+                self.commit_hook(uop)
+            if uop.trace_seq >= 0:
+                self.cursor.release(uop.trace_seq)
+        self.mode_switch.observe(self.stats.committed, self.hierarchy.stats.l2_misses)
+
+    # ==================================================================
+    # Writeback / branch resolution
+    # ==================================================================
+
+    def _writeback(self) -> None:
+        completing = self._events.pop(self.cycle, None)
+        if not completing:
+            return
+        for uop in completing:
+            if uop.squashed:
+                continue
+            uop.completed = True
+            uop.complete_cycle = self.cycle
+            if uop.mispredicted and uop.on_correct_path:
+                self._recover(uop)
+
+    def _recover(self, branch: Uop) -> None:
+        """Branch misprediction recovery (flush + checkpoint restore)."""
+        cycle = self.cycle
+        penalty = cycle - branch.fetch_cycle
+        self.stats.missspec_penalty_cycles += penalty
+        self.stats.missspec_frontend_cycles += branch.dispatch_cycle - branch.fetch_cycle
+        self.stats.missspec_iq_wait_cycles += branch.issue_cycle - branch.dispatch_cycle
+        self.stats.missspec_execute_cycles += cycle - branch.issue_cycle
+        self.misprediction_log.append(
+            (branch.inst.pc, branch.fetch_cycle, branch.dispatch_cycle,
+             branch.issue_cycle, cycle)
+        )
+
+        seq = branch.seq
+        for uop in self._frontend:
+            uop.squashed = True
+        self._frontend.clear()
+        for slot, uop in list(self.iq.occupied()):
+            if uop.seq > seq:
+                uop.squashed = True
+                if self.age_matrix is not None:
+                    self.age_matrix.remove(slot)
+        self.iq.flush(keep=lambda uop: not uop.squashed)
+        for uop in self.rob.squash_younger(seq):
+            uop.squashed = True
+            self.renamer.release_squashed(uop)
+        for uop in self.lsq.squash_younger(seq):
+            uop.squashed = True
+        self.renamer.restore(branch.checkpoint)
+        branch.checkpoint = None
+
+        self._next_trace_seq = branch.trace_seq + 1
+        self._wrong_path_pc = None
+        self._fetch_resume_cycle = cycle + self.config.recovery_penalty
+        self._last_ifetch_line = -1
+
+    # ==================================================================
+    # Issue
+    # ==================================================================
+
+    def _issue(self) -> None:
+        cycle = self.cycle
+        renamer = self.renamer
+        requests = []
+        for slot, uop in self.iq.occupied():
+            dep = uop.store_dep
+            if dep is not None and not (dep.issued or dep.squashed):
+                continue
+            if renamer.sources_ready(uop, cycle):
+                requests.append((slot, uop))
+        if not requests:
+            self.select_logic.stats.cycles += 1
+            return
+        granted = self.select_logic.select(requests)
+        # Release highest slots first: in the shifting queue, removing an
+        # entry compacts the positions above it, so descending order keeps
+        # the remaining grant slots valid.
+        for slot, _ in sorted(granted, reverse=True):
+            self.iq.release(slot)
+            if self.age_matrix is not None:
+                self.age_matrix.remove(slot)
+        for slot, uop in granted:
+            uop.issue_cycle = cycle
+            uop.iq_slot = -1
+            lat = self._execution_latency(uop)
+            if uop.dest_phys >= 0:
+                renamer.set_ready(uop.dest_phys, cycle + lat)
+            self._events.setdefault(cycle + lat, []).append(uop)
+
+    def _execution_latency(self, uop: Uop) -> int:
+        inst = uop.inst
+        if inst.is_load:
+            dep = uop.store_dep
+            if dep is not None and not dep.squashed:
+                return 1 + self._forward_latency
+            if uop.on_correct_path and uop.mem_addr is not None:
+                self._last_data_addr = uop.mem_addr
+                return 1 + self.hierarchy.load(self.cycle, uop.mem_addr)
+            if self.config.wrong_path_memory == "pollute":
+                # Wrong-path loads have no architectural address; real ones
+                # usually land near recently-touched data, so synthesize a
+                # deterministic address within 4 KB of the last correct-path
+                # access (cache pollution and spurious prefetch training).
+                addr = self._last_data_addr + (((inst.pc >> 2) * 0x61) & 0xFF8)
+                return 1 + self.hierarchy.load(self.cycle, addr)
+            # Wrong-path loads ("idle"): L1-hit time, no cache side effects.
+            return 1 + self.hierarchy.l1d.config.hit_latency
+        if inst.is_store:
+            return 1  # address/data capture; memory written at commit
+        return op_latency(inst.opcode)
+
+    # ==================================================================
+    # Dispatch (decode + rename + IQ/ROB/LSQ allocation)
+    # ==================================================================
+
+    def _dispatch(self) -> None:
+        cfg = self.config
+        cycle = self.cycle
+        earliest = cycle - cfg.frontend_depth
+        pubs_on = cfg.pubs.enabled
+        dispatched = 0
+        while dispatched < cfg.decode_width and self._frontend:
+            uop = self._frontend[0]
+            if uop.fetch_cycle > earliest:
+                break
+            if not uop.decoded:
+                # The decode stage proper: PUBS slice tracking.
+                uop.decoded = True
+                if pubs_on:
+                    uop.unconfident = self.slice_tracker.on_decode(uop.inst)
+            if self.rob.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                break
+            if uop.inst.is_mem and self.lsq.is_full():
+                self.stats.dispatch_stall_cycles += 1
+                break
+            if not self.renamer.can_rename(uop):
+                self.stats.dispatch_stall_cycles += 1
+                break
+            slot = self._allocate_iq_slot(uop)
+            if slot is None:
+                self.stats.dispatch_stall_cycles += 1
+                break
+            self._frontend.popleft()
+            self.renamer.rename(uop)
+            if uop.mispredicted and uop.on_correct_path:
+                uop.checkpoint = self.renamer.checkpoint()
+            uop.dispatch_cycle = cycle
+            uop.iq_slot = slot
+            self.rob.append(uop)
+            if uop.inst.is_mem:
+                self.lsq.insert(uop)
+            if self.age_matrix is not None:
+                self.age_matrix.insert(slot)
+            dispatched += 1
+
+    def _allocate_iq_slot(self, uop: Uop) -> Optional[int]:
+        """IQ entry allocation implementing the PUBS dispatch policies."""
+        cfg = self.config.pubs
+        if not cfg.enabled:
+            return self.iq.dispatch(uop, priority=False)
+        if not self.mode_switch.pubs_active:
+            return self.iq.dispatch_uniform(uop)
+        if uop.unconfident:
+            self.stats.unconfident_dispatches += 1
+            slot = self.iq.dispatch(uop, priority=True)
+            if slot is not None:
+                self.stats.priority_dispatches += 1
+                return slot
+            if cfg.stall_policy:
+                self.stats.priority_stall_cycles += 1
+                return None
+            return self.iq.dispatch(uop, priority=False)
+        return self.iq.dispatch(uop, priority=False)
+
+    # ==================================================================
+    # Fetch
+    # ==================================================================
+
+    def _fetch(self) -> None:
+        cycle = self.cycle
+        if cycle < self._fetch_resume_cycle:
+            return
+        cfg = self.config
+        fetched = 0
+        while fetched < cfg.fetch_width:
+            if len(self._frontend) >= self._frontend_capacity:
+                break
+            on_trace = self._wrong_path_pc is None
+            if on_trace:
+                record = self.cursor.get(self._next_trace_seq)
+                inst = record.inst
+            else:
+                record = None
+                inst = self.program.at(self._wrong_path_pc)
+            # Instruction cache: one access per new line.
+            line = inst.pc >> 6
+            if line != self._last_ifetch_line:
+                lat = self.hierarchy.ifetch(cycle, inst.pc)
+                self._last_ifetch_line = line
+                if lat > self.hierarchy.l1i.config.hit_latency:
+                    self._fetch_resume_cycle = cycle + lat
+                    self._last_ifetch_line = -1  # re-check after the fill
+                    break
+            uop = Uop(self._next_seq, inst, cycle, on_trace,
+                      record.seq if on_trace else -1)
+            self._next_seq += 1
+            next_pc = self._next_fetch_pc(uop, record)
+            self._frontend.append(uop)
+            self.stats.fetched += 1
+            if not on_trace:
+                self.stats.wrong_path_fetched += 1
+            fetched += 1
+            if on_trace and uop.mispredicted:
+                self._wrong_path_pc = next_pc
+                self._next_trace_seq += 1
+                break  # the front end redirects; stop this fetch group
+            if on_trace:
+                self._next_trace_seq += 1
+            else:
+                self._wrong_path_pc = next_pc
+            if next_pc != inst.pc + INST_BYTES:
+                break  # taken-transfer fetch break
+
+    def _next_fetch_pc(self, uop: Uop, record) -> int:
+        """Branch prediction at fetch; returns the PC fetch continues at."""
+        inst = uop.inst
+        pc = inst.pc
+        if inst.is_conditional_branch:
+            predicted_taken = self.predictor.predict(pc)
+            target = None
+            if predicted_taken:
+                target = self.btb.lookup(pc)
+                if target is None:
+                    predicted_taken = False  # BTB miss: cannot redirect
+                    self.stats.btb_misses_taken += 1
+            predicted_next = target if predicted_taken else pc + INST_BYTES
+            if predicted_next == pc + INST_BYTES and not self.program.contains(predicted_next):
+                predicted_next = self.program.entry_pc
+            uop.predicted_taken = predicted_taken
+            uop.predicted_next_pc = predicted_next
+            if record is not None:  # correct path: train with the truth
+                self.predictor.update(pc, record.taken, predicted_taken)
+                if record.taken:
+                    self.btb.install(pc, record.next_pc)
+                uop.actual_taken = record.taken
+                uop.actual_next_pc = record.next_pc
+                uop.mispredicted = predicted_next != record.next_pc
+                return record.next_pc if not uop.mispredicted else predicted_next
+            return predicted_next
+        if inst.opcode is Opcode.JUMP:
+            uop.predicted_taken = True
+            uop.predicted_next_pc = inst.target
+            if record is not None:
+                uop.actual_taken = True
+                uop.actual_next_pc = record.next_pc
+            return inst.target
+        if uop.inst.is_mem and record is not None:
+            uop.mem_addr = record.mem_addr
+        if record is not None:
+            return record.next_pc
+        return self.program.next_pc(pc)

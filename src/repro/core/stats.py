@@ -1,0 +1,114 @@
+"""Simulation statistics.
+
+Everything the evaluation needs: IPC, branch MPKI (classifies D-BP vs E-BP
+at the paper's 3.0 threshold), LLC MPKI (compute- vs memory-intensive at
+1.0), the decomposed misspeculation penalty, and pipeline utilization
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Paper's thresholds (Sec. V-A and Fig. 9).
+D_BP_BRANCH_MPKI_THRESHOLD = 3.0
+MEMORY_INTENSIVE_LLC_MPKI_THRESHOLD = 1.0
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated by one timing-simulation run."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0  #: includes wrong-path fetches
+    wrong_path_fetched: int = 0
+
+    # Branch behaviour (committed conditional branches only).
+    cond_branches: int = 0
+    mispredictions: int = 0
+    btb_misses_taken: int = 0
+
+    # Misspeculation penalty (Sec. II-A): fetch -> end of execution of each
+    # mispredicted branch, decomposed into front-end, IQ-wait and execute.
+    missspec_penalty_cycles: int = 0
+    missspec_frontend_cycles: int = 0
+    missspec_iq_wait_cycles: int = 0
+    missspec_execute_cycles: int = 0
+
+    # Dispatch behaviour.
+    dispatch_stall_cycles: int = 0
+    priority_stall_cycles: int = 0  #: stalls caused by a full priority partition
+    priority_dispatches: int = 0
+    unconfident_dispatches: int = 0
+
+    # IQ occupancy (sampled every cycle).
+    iq_occupancy_sum: int = 0
+
+    # Memory (filled in from the hierarchy at the end of the run).
+    llc_misses: int = 0
+    l1d_misses: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_mpki(self) -> float:
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.committed
+
+    @property
+    def llc_mpki(self) -> float:
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.committed
+
+    @property
+    def prediction_accuracy(self) -> float:
+        if self.cond_branches == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.cond_branches
+
+    @property
+    def avg_missspec_penalty(self) -> float:
+        """Average cycles from fetch to execution end per misprediction."""
+        if self.mispredictions == 0:
+            return 0.0
+        return self.missspec_penalty_cycles / self.mispredictions
+
+    @property
+    def avg_missspec_iq_wait(self) -> float:
+        """The component PUBS attacks: IQ waiting cycles per misprediction."""
+        if self.mispredictions == 0:
+            return 0.0
+        return self.missspec_iq_wait_cycles / self.mispredictions
+
+    @property
+    def avg_iq_occupancy(self) -> float:
+        return self.iq_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    @property
+    def is_difficult_branch_prediction(self) -> bool:
+        """D-BP classification (branch MPKI >= 3.0, Sec. V-A)."""
+        return self.branch_mpki >= D_BP_BRANCH_MPKI_THRESHOLD
+
+    @property
+    def is_memory_intensive(self) -> bool:
+        """Memory-intensity classification (LLC MPKI >= 1.0, Fig. 9)."""
+        return self.llc_mpki >= MEMORY_INTENSIVE_LLC_MPKI_THRESHOLD
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        return (
+            f"cycles={self.cycles} committed={self.committed} "
+            f"IPC={self.ipc:.3f} brMPKI={self.branch_mpki:.2f} "
+            f"llcMPKI={self.llc_mpki:.2f} "
+            f"missspec/branch={self.avg_missspec_penalty:.1f}cy "
+            f"(IQ wait {self.avg_missspec_iq_wait:.1f}cy)"
+        )

@@ -1,0 +1,20 @@
+"""Issue-queue substrate: random queue, priority partition, select, age matrix."""
+
+from .age_matrix import AGE_MATRIX_IQ_DELAY_FACTOR, AgeMatrix
+from .distributed import DistributedIssueQueue, DistributedSelectLogic
+from .ordered import CircularQueue, ShiftingQueue
+from .queue import IssueQueue
+from .select import FuPool, SelectLogic, SelectStats
+
+__all__ = [
+    "AGE_MATRIX_IQ_DELAY_FACTOR",
+    "AgeMatrix",
+    "CircularQueue",
+    "DistributedIssueQueue",
+    "DistributedSelectLogic",
+    "ShiftingQueue",
+    "IssueQueue",
+    "FuPool",
+    "SelectLogic",
+    "SelectStats",
+]

@@ -1,0 +1,46 @@
+"""Logical register file definition.
+
+The paper's cost analysis (Sec. IV) assumes 64 logical registers, which it
+uses to size ``def_tab`` ("we prepare a full size table ... because the
+number of logical registers is small (i.e., 64)").  We mirror that: 32
+integer registers followed by 32 floating-point registers, addressed by a
+single flat logical index 0..63 so that ``def_tab`` can be one full-size
+table exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: First logical index of the floating-point register file.
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(n: int) -> int:
+    """Logical index of integer register ``r<n>``."""
+    if not 0 <= n < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {n}")
+    return n
+
+
+def fp_reg(n: int) -> int:
+    """Logical index of floating-point register ``f<n>``."""
+    if not 0 <= n < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {n}")
+    return FP_BASE + n
+
+
+def is_fp_reg(index: int) -> bool:
+    """Whether a flat logical index names a floating-point register."""
+    if not 0 <= index < NUM_LOGICAL_REGS:
+        raise ValueError(f"logical register index out of range: {index}")
+    return index >= FP_BASE
+
+
+def reg_name(index: int) -> str:
+    """Human-readable name (``r7`` / ``f3``) for a flat logical index."""
+    if is_fp_reg(index):
+        return f"f{index - FP_BASE}"
+    return f"r{index}"

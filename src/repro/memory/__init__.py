@@ -1,0 +1,15 @@
+"""Memory hierarchy substrate: caches, stream prefetcher, composed hierarchy."""
+
+from .cache import CacheConfig, CacheStats, SetAssocCache
+from .hierarchy import HierarchyStats, MemoryConfig, MemoryHierarchy
+from .prefetcher import StreamPrefetcher
+
+__all__ = [
+    "CacheConfig",
+    "CacheStats",
+    "SetAssocCache",
+    "HierarchyStats",
+    "MemoryConfig",
+    "MemoryHierarchy",
+    "StreamPrefetcher",
+]

@@ -1,0 +1,220 @@
+"""Two-level memory hierarchy with a stream prefetcher (Table I).
+
+Geometry and latencies default to the paper's base configuration:
+
+* L1 I-cache: 32 KB, 8-way, 64 B lines
+* L1 D-cache: 32 KB, 8-way, 64 B lines, 2-cycle hit, non-blocking
+* L2 (LLC):   2 MB, 16-way, 64 B lines, 12-cycle hit
+* Memory:     300-cycle minimum latency, 8 B/cycle fill bandwidth
+* Prefetch:   stream-based, 32 streams, 16-line distance, 2-line degree,
+  prefetching into the L2
+
+Timing model: the hierarchy is consulted with the current cycle and returns
+the access latency.  Outstanding fills are tracked per level in pending-fill
+maps (the MSHR analogue); a second access to an in-flight line merges and
+waits for the same fill, and does not count as an additional miss.  The fill
+bus serializes 64-byte line transfers at 8 B/cycle, so heavy miss bursts see
+queueing on top of the 300-cycle base latency -- this is what makes MLP
+exploitation (and hence the paper's mode switch) matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .cache import CacheConfig, SetAssocCache
+from .prefetcher import StreamPrefetcher
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Full hierarchy configuration."""
+
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 32 * 1024, 8, 64, hit_latency=1)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 32 * 1024, 8, 64, hit_latency=2)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 2 * 1024 * 1024, 16, 64, hit_latency=12)
+    )
+    memory_latency: int = 300
+    memory_bytes_per_cycle: int = 8
+    prefetch_streams: int = 32
+    prefetch_distance: int = 16
+    prefetch_degree: int = 2
+    prefetch_enabled: bool = True
+
+
+@dataclass
+class HierarchyStats:
+    """Demand-miss counters used for MPKI classification."""
+
+    l1i_accesses: int = 0
+    l1i_misses: int = 0
+    l1d_accesses: int = 0
+    l1d_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0  #: demand LLC misses (drives LLC MPKI / mode switch)
+    prefetches_issued: int = 0
+    prefetch_hits: int = 0  #: demand accesses that merged into a prefetch fill
+
+
+class MemoryHierarchy:
+    """Composed L1I/L1D/L2/memory with MSHR merging and prefetch."""
+
+    def __init__(self, config: MemoryConfig = None):
+        self.config = config or MemoryConfig()
+        self.l1i = SetAssocCache(self.config.l1i)
+        self.l1d = SetAssocCache(self.config.l1d)
+        self.l2 = SetAssocCache(self.config.l2)
+        self.stats = HierarchyStats()
+        self.prefetcher = StreamPrefetcher(
+            self.config.prefetch_streams,
+            self.config.prefetch_distance,
+            self.config.prefetch_degree,
+            self.config.l2.line_bytes,
+        )
+        self._line_cycles = max(
+            1, self.config.l2.line_bytes // self.config.memory_bytes_per_cycle
+        )
+        self._bus_free = 0
+        # line address -> fill-complete cycle
+        self._pending_l1i: Dict[int, int] = {}
+        self._pending_l1d: Dict[int, int] = {}
+        self._pending_l2: Dict[int, int] = {}
+        self._pending_l2_prefetch: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Pending-fill bookkeeping
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _drain(pending: Dict[int, int], cache: SetAssocCache, cycle: int) -> None:
+        if not pending:
+            return
+        done = [line for line, ready in pending.items() if ready <= cycle]
+        for line in done:
+            cache.install(line)
+            del pending[line]
+
+    def _memory_fill(self, cycle: int) -> int:
+        """Schedule one line fill from memory; returns its completion cycle."""
+        start = cycle if cycle > self._bus_free else self._bus_free
+        self._bus_free = start + self._line_cycles
+        return start + self.config.memory_latency + self._line_cycles
+
+    # ------------------------------------------------------------------
+    # L2 (shared) access
+    # ------------------------------------------------------------------
+
+    def _access_l2(self, cycle: int, line: int) -> int:
+        """Demand access arriving at the L2 at ``cycle``; returns the cycle
+        the line is available to the requesting L1."""
+        self._drain(self._pending_l2, self.l2, cycle)
+        self._drain(self._pending_l2_prefetch, self.l2, cycle)
+        self.stats.l2_accesses += 1
+        # The stream detector trains on every demand access reaching the L2
+        # (the L1 already filtered intra-line locality); training only on
+        # misses would starve a stream as soon as its prefetches cover it.
+        if self.config.prefetch_enabled:
+            self._issue_prefetches(cycle, line)
+        if self.l2.lookup(line):
+            return cycle + self.config.l2.hit_latency
+        ready = self._pending_l2.get(line)
+        if ready is not None:
+            self.stats.l2_misses += 1  # merged demand miss, fill in flight
+            return ready
+        ready = self._pending_l2_prefetch.get(line)
+        if ready is not None:
+            # Late prefetch: the demand access waits for the prefetch fill
+            # but we do not count an extra LLC miss (the prefetcher already
+            # paid for the fill).
+            self.stats.prefetch_hits += 1
+            return ready
+        self.stats.l2_misses += 1
+        ready = self._memory_fill(cycle + self.config.l2.hit_latency)
+        self._pending_l2[line] = ready
+        return ready
+
+    def _issue_prefetches(self, cycle: int, line: int) -> None:
+        for pf_line in self.prefetcher.observe_access(line):
+            if self.l2.probe(pf_line):
+                continue
+            if pf_line in self._pending_l2 or pf_line in self._pending_l2_prefetch:
+                continue
+            self.stats.prefetches_issued += 1
+            self._pending_l2_prefetch[pf_line] = self._memory_fill(cycle)
+
+    # ------------------------------------------------------------------
+    # Public access points
+    # ------------------------------------------------------------------
+
+    def load(self, cycle: int, addr: int) -> int:
+        """Data load at ``cycle``; returns the access latency in cycles."""
+        return self._l1_access(cycle, addr, self.l1d, self._pending_l1d, False)
+
+    def store(self, cycle: int, addr: int) -> int:
+        """Data store (write-allocate); latency is informational -- the
+        pipeline retires stores through a store buffer."""
+        return self._l1_access(cycle, addr, self.l1d, self._pending_l1d, False,
+                               is_store=True)
+
+    def ifetch(self, cycle: int, addr: int) -> int:
+        """Instruction fetch of the line containing ``addr``."""
+        return self._l1_access(cycle, addr, self.l1i, self._pending_l1i, True)
+
+    def _l1_access(self, cycle: int, addr: int, cache: SetAssocCache,
+                   pending: Dict[int, int], is_ifetch: bool,
+                   is_store: bool = False) -> int:
+        line = cache.line_addr(addr)
+        self._drain(pending, cache, cycle)
+        if is_ifetch:
+            self.stats.l1i_accesses += 1
+        else:
+            self.stats.l1d_accesses += 1
+        if cache.lookup(line):
+            return cache.config.hit_latency
+        if is_ifetch:
+            self.stats.l1i_misses += 1
+        else:
+            self.stats.l1d_misses += 1
+        ready = pending.get(line)
+        if ready is None:
+            ready = self._access_l2(cycle + cache.config.hit_latency, line)
+            pending[line] = ready
+        latency = ready - cycle
+        hit_latency = cache.config.hit_latency
+        return latency if latency > hit_latency else hit_latency
+
+    # ------------------------------------------------------------------
+    # Warm-up (no timing, no stats)
+    # ------------------------------------------------------------------
+
+    def warm_data(self, addr: int) -> None:
+        """Install the line containing ``addr`` into L1D and L2.
+
+        Used by the skip/fast-forward phase so timing starts from a
+        representative cache state instead of a cold one.
+        """
+        line = self.l1d.line_addr(addr)
+        self.l1d.install(line)
+        self.l2.install(line)
+
+    def warm_ifetch(self, pc: int) -> None:
+        """Install the line containing ``pc`` into L1I and L2."""
+        line = self.l1i.line_addr(pc)
+        self.l1i.install(line)
+        self.l2.install(line)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+
+    def llc_mpki(self, committed_instructions: int) -> float:
+        """Demand LLC misses per kilo-instruction."""
+        if committed_instructions <= 0:
+            return 0.0
+        return 1000.0 * self.stats.l2_misses / committed_instructions

@@ -1,0 +1,87 @@
+"""Stream-based hardware prefetcher.
+
+Table I: "stream-based: 32-stream tracked, 16-line distance, 2-line degree,
+prefetch to L2 cache".  The prefetcher watches demand misses, detects
+ascending or descending unit-stride line streams, and once a stream is
+confirmed issues ``degree`` prefetches running ``distance`` lines ahead of
+the demand stream.  Prefetches are returned to the hierarchy, which installs
+them into the L2 after the memory latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass
+class _Stream:
+    last_line: int
+    direction: int  # +1 ascending, -1 descending, 0 unconfirmed
+    confirmations: int
+    last_use: int  # for LRU stream replacement
+
+
+class StreamPrefetcher:
+    """Unit-stride multi-stream prefetcher."""
+
+    def __init__(self, num_streams: int = 32, distance: int = 16, degree: int = 2,
+                 line_bytes: int = 64):
+        if num_streams < 1 or distance < 1 or degree < 1:
+            raise ValueError("prefetcher parameters must be positive")
+        self.num_streams = num_streams
+        self.distance = distance
+        self.degree = degree
+        self.line_bytes = line_bytes
+        self._streams: List[_Stream] = []
+        self._clock = 0
+        self.issued = 0
+
+    def observe_access(self, line_addr: int) -> List[int]:
+        """Feed one demand line address (the L2 access stream); returns line
+        addresses to prefetch (possibly empty).
+
+        Training on the full demand stream (not just misses) keeps a stream
+        alive once its own prefetches start covering it."""
+        self._clock += 1
+        line = line_addr // self.line_bytes
+        # Try to extend an existing stream (hit window: within 2 lines of the
+        # stream head in either direction while unconfirmed, or exactly the
+        # next line once a direction is locked).
+        for stream in self._streams:
+            delta = line - stream.last_line
+            if stream.direction == 0 and delta in (-2, -1, 1, 2):
+                stream.direction = 1 if delta > 0 else -1
+                stream.confirmations = 1
+                stream.last_line = line
+                stream.last_use = self._clock
+                return self._emit(stream)
+            if stream.direction != 0 and 0 < delta * stream.direction <= 2:
+                stream.confirmations += 1
+                stream.last_line = line
+                stream.last_use = self._clock
+                return self._emit(stream)
+        # Allocate a new stream, evicting the least-recently-used.
+        stream = _Stream(last_line=line, direction=0, confirmations=0,
+                         last_use=self._clock)
+        self._streams.append(stream)
+        if len(self._streams) > self.num_streams:
+            lru = min(range(len(self._streams)), key=lambda i: self._streams[i].last_use)
+            self._streams.pop(lru)
+        return []
+
+    def _emit(self, stream: _Stream) -> List[int]:
+        if stream.confirmations < 1:
+            return []
+        base = stream.last_line + stream.direction * self.distance
+        lines = []
+        for k in range(self.degree):
+            line = base + stream.direction * k
+            if line >= 0:
+                lines.append(line * self.line_bytes)
+        self.issued += len(lines)
+        return lines
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._streams)

@@ -1,0 +1,34 @@
+"""PUBS: Prioritizing Unconfident Branch Slices (the paper's contribution).
+
+This package implements the decode-side machinery (Sec. III-A and IV): the
+``def_tab`` / ``brslice_tab`` / ``conf_tab`` tables with XOR-folded hashed
+tags, the slice tracker that predicts unconfident-slice membership, the
+LLC-MPKI mode switch (Sec. III-B3), and the Table III hardware cost model.
+The IQ-side priority partition lives in :mod:`repro.iq`.
+"""
+
+from .config import PubsConfig
+from .cost import CostBreakdown, pubs_hardware_cost, unhashed_cost
+from .hashing import hashed_tag, split_pc, xor_fold
+from .mode_switch import ModeSwitch, ModeSwitchStats
+from .slice_tracker import SliceTracker, SliceTrackerStats
+from .tables import BrsliceTab, ConfTab, DefTab, Pointer, PointerCodec
+
+__all__ = [
+    "PubsConfig",
+    "CostBreakdown",
+    "pubs_hardware_cost",
+    "unhashed_cost",
+    "hashed_tag",
+    "split_pc",
+    "xor_fold",
+    "ModeSwitch",
+    "ModeSwitchStats",
+    "SliceTracker",
+    "SliceTrackerStats",
+    "BrsliceTab",
+    "ConfTab",
+    "DefTab",
+    "Pointer",
+    "PointerCodec",
+]

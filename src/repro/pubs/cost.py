@@ -1,0 +1,93 @@
+"""Hardware cost model for the PUBS tables (Sec. IV / Table III).
+
+Entry layouts (Fig. 6), with ``i_X`` = log2(rows of table X) index bits and
+``S_X``-bit XOR-folded hashed tags:
+
+* ``def_tab``     entry: ``p_B = i_B || t_B``                 (full-size, 64 rows)
+* ``brslice_tab`` entry: ``t_B`` and ``p_C = i_C || t_C``
+* ``conf_tab``    entry: ``t_C`` and the confidence counter
+
+With the default geometry (256 sets x 4 ways for both set-associative
+tables, S_B = 8, S_C = 4, 6-bit counters) the total is ~3.9 KB, matching the
+paper's reported 4.0 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import PubsConfig
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Per-table storage in bits, with KB accessors (Table III)."""
+
+    def_tab_bits: int
+    brslice_tab_bits: int
+    conf_tab_bits: int
+
+    @staticmethod
+    def _kib(bits: int) -> float:
+        return bits / 8 / 1024
+
+    @property
+    def def_tab_kib(self) -> float:
+        return self._kib(self.def_tab_bits)
+
+    @property
+    def brslice_tab_kib(self) -> float:
+        return self._kib(self.brslice_tab_bits)
+
+    @property
+    def conf_tab_kib(self) -> float:
+        return self._kib(self.conf_tab_bits)
+
+    @property
+    def total_bits(self) -> int:
+        return self.def_tab_bits + self.brslice_tab_bits + self.conf_tab_bits
+
+    @property
+    def total_kib(self) -> float:
+        return self._kib(self.total_bits)
+
+    def rows(self):
+        """(name, KB) rows in Table III order plus the total."""
+        return [
+            ("def_tab", self.def_tab_kib),
+            ("brslice_tab", self.brslice_tab_kib),
+            ("conf_tab", self.conf_tab_kib),
+            ("total", self.total_kib),
+        ]
+
+
+def unhashed_cost(config: PubsConfig = None, num_logical_regs: int = 64) -> CostBreakdown:
+    """Cost with full (unhashed) tags -- the strawman Sec. IV improves on."""
+    c = config or PubsConfig()
+    i_b = c.brslice_sets.bit_length() - 1
+    i_c = c.conf_sets.bit_length() - 1
+    t_b = c.word_width - i_b  # full tag widths
+    t_c = c.word_width - i_c
+    p_b = i_b + t_b
+    p_c = i_c + t_c
+    return CostBreakdown(
+        def_tab_bits=num_logical_regs * p_b,
+        brslice_tab_bits=c.brslice_sets * c.brslice_assoc * (t_b + p_c),
+        conf_tab_bits=c.conf_sets * c.conf_assoc * (t_c + c.conf_counter_bits),
+    )
+
+
+def pubs_hardware_cost(config: PubsConfig = None, num_logical_regs: int = 64) -> CostBreakdown:
+    """Cost with XOR-folded hashed tags (the paper's Table III)."""
+    c = config or PubsConfig()
+    i_b = c.brslice_sets.bit_length() - 1
+    i_c = c.conf_sets.bit_length() - 1
+    t_b = c.brslice_fold_width
+    t_c = c.conf_fold_width
+    p_b = i_b + t_b
+    p_c = i_c + t_c
+    return CostBreakdown(
+        def_tab_bits=num_logical_regs * p_b,
+        brslice_tab_bits=c.brslice_sets * c.brslice_assoc * (t_b + p_c),
+        conf_tab_bits=c.conf_sets * c.conf_assoc * (t_c + c.conf_counter_bits),
+    )

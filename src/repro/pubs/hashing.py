@@ -1,0 +1,46 @@
+"""XOR-fold tag hashing (Sec. IV, Fig. 7).
+
+A straightforward set-associative ``brslice_tab``/``conf_tab`` would store
+the full PC tag (e.g. 55 bits for a 128-row table over a 62-bit instruction
+word), dominating the hardware cost.  The paper folds the tag by XORing its
+successive S-bit portions into a single S-bit hashed tag; S=8 for
+``brslice_tab`` and S=4 for ``conf_tab`` "hardly degrade the performance".
+The fold introduces the (rare, accepted) possibility of tag aliasing, which
+our tables faithfully exhibit.
+"""
+
+from __future__ import annotations
+
+
+def xor_fold(value: int, width: int) -> int:
+    """Fold ``value`` into ``width`` bits by XORing its width-bit chunks."""
+    if width < 1:
+        raise ValueError("fold width must be positive")
+    mask = (1 << width) - 1
+    folded = 0
+    v = value
+    while v:
+        folded ^= v & mask
+        v >>= width
+    return folded
+
+
+def split_pc(pc: int, index_bits: int, word_width: int = 62) -> "tuple[int, int]":
+    """Split an instruction PC into (set index, full tag).
+
+    The PC's two alignment bits are dropped first (instructions are 4-byte
+    aligned), leaving a ``word_width``-bit instruction word as in the paper's
+    Sec. IV example (62 = 64 - 2).
+    """
+    if index_bits < 0:
+        raise ValueError("index_bits must be non-negative")
+    word = (pc >> 2) & ((1 << word_width) - 1)
+    index = word & ((1 << index_bits) - 1)
+    tag = word >> index_bits
+    return index, tag
+
+
+def hashed_tag(pc: int, index_bits: int, fold_width: int, word_width: int = 62) -> int:
+    """The S-bit hashed tag of ``pc`` for a table with ``2**index_bits`` rows."""
+    _, tag = split_pc(pc, index_bits, word_width)
+    return xor_fold(tag, fold_width)

@@ -1,0 +1,12 @@
+"""Synthetic SPEC2006-like workloads (the paper's benchmark substitution)."""
+
+from .generator import build_all, build_program
+from .profiles import WorkloadProfile, get_profile, spec2006_profiles
+
+__all__ = [
+    "build_all",
+    "build_program",
+    "WorkloadProfile",
+    "get_profile",
+    "spec2006_profiles",
+]

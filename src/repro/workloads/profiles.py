@@ -1,0 +1,342 @@
+"""Per-benchmark workload profiles.
+
+The paper evaluates all SPEC CPU2006 programs except ``wrf`` (28 programs),
+split at 3.0 branch MPKI into difficult (D-BP) and easy (E-BP) branch
+prediction sets, and at 1.0 LLC MPKI into memory- and compute-intensive.
+We cannot run Alpha SPEC binaries, so each program is replaced by a
+synthetic register-machine program whose *profile* places it in the same
+region of that (branch MPKI, LLC MPKI) plane and gives it the same
+qualitative slice structure:
+
+* ``hard_branch_sites`` / ``hard_branch_bias_bits`` -- data-dependent
+  branches whose outcome is a function of pseudo-random loaded data; a
+  bias of ``k`` bits makes the branch taken with probability ``2**-k``
+  (k=1 -> 50/50, maximally hard; larger k -> milder ~2**-k miss rates).
+  Together with the iteration length these set branch MPKI.
+* ``slice_depth`` -- dependent ALU operations between the feeding load and
+  the branch: the length of the branch slice PUBS accelerates.
+* ``branch_data_bytes`` -- footprint of the loads feeding hard branches.
+  Cache-resident for compute programs (sjeng's evaluation tables); huge
+  for memory-bound programs like mcf, whose branch slices then stall on
+  memory and cap PUBS's benefit (the paper's 0.3% mcf result).
+* ``random_loads`` / ``data_footprint_bytes`` -- independent random loads
+  driving LLC MPKI and memory-level parallelism.
+* ``streaming_loads`` -- unit-stride loads the stream prefetcher covers.
+* ``pointer_chase_loads`` -- serialized dependent loads (low MLP).
+* ``predictable_branch_sites`` / ``predictable_period`` -- periodic
+  branches the perceptron learns, diluting MPKI like real control flow.
+* ``filler_alu`` / ``filler_mul`` / ``filler_fp`` -- independent
+  computation-slice work competing with branch slices for issue slots
+  (this contention is what position-priority select arbitrates).
+
+Footprints that cumulatively fit in 3/4 of the LLC are pre-warmed by the
+simulator (checkpoint-style); larger footprints run cold on purpose.
+The numbers below were calibrated against the simulator so measured branch
+MPKI and LLC MPKI land near published SPEC2006 characterizations;
+EXPERIMENTS.md records what every run actually measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Generator parameters for one synthetic benchmark program."""
+
+    name: str
+    description: str
+    hard_branch_sites: int = 1
+    hard_branch_bias_bits: int = 1
+    slice_depth: int = 3
+    branch_data_bytes: int = 16 * KIB
+    predictable_branch_sites: int = 2
+    predictable_period: int = 8
+    data_footprint_bytes: int = 64 * KIB
+    random_loads: int = 1
+    streaming_loads: int = 1
+    pointer_chase_loads: int = 0
+    #: Loads from a dedicated always-cold 64 MB region, executed only every
+    #: ``cold_period``-th iteration (guarded by a predictable branch): a
+    #: fine-grained dial for LLC MPKI in the 1-10 range (astar, omnetpp).
+    periodic_cold_loads: int = 0
+    cold_period: int = 8
+    store_sites: int = 1
+    filler_alu: int = 24
+    #: Dependent-chain length of the ALU filler: real code's computation
+    #: slices are dependency-limited, not an all-ready flood; chains of 3
+    #: mean only one in three filler ops is issue-ready at a time.
+    filler_chain: int = 3
+    filler_mul: int = 0
+    filler_fp: int = 0
+    mem_seed: int = 0
+
+    def __post_init__(self) -> None:
+        for n in ("branch_data_bytes", "data_footprint_bytes",
+                  "predictable_period"):
+            v = getattr(self, n)
+            if v < 8 or v & (v - 1):
+                raise ValueError(f"{n} must be a power of two >= 8")
+        if self.hard_branch_bias_bits < 1:
+            raise ValueError("hard_branch_bias_bits must be >= 1")
+        if self.cold_period < 2 or self.cold_period & (self.cold_period - 1):
+            raise ValueError("cold_period must be a power of two >= 2")
+        if self.slice_depth < 0:
+            raise ValueError("slice_depth must be non-negative")
+
+
+def _int_profiles() -> List[WorkloadProfile]:
+    return [
+        WorkloadProfile(
+            name="perlbench",
+            description="interpreter: moderate hard branches, small tables",
+            hard_branch_sites=2, hard_branch_bias_bits=3, slice_depth=3,
+            branch_data_bytes=32 * KIB, predictable_branch_sites=3,
+            filler_alu=26, random_loads=1, data_footprint_bytes=256 * KIB,
+            mem_seed=101,
+        ),
+        WorkloadProfile(
+            name="bzip2",
+            description="compression: data-dependent bit tests",
+            hard_branch_sites=2, hard_branch_bias_bits=2, slice_depth=2,
+            branch_data_bytes=64 * KIB, predictable_branch_sites=2,
+            filler_alu=24, random_loads=1, data_footprint_bytes=256 * KIB,
+            mem_seed=102,
+        ),
+        WorkloadProfile(
+            name="gcc",
+            description="compiler: branchy, mid-size working set",
+            hard_branch_sites=2, hard_branch_bias_bits=2, slice_depth=3,
+            branch_data_bytes=32 * KIB, predictable_branch_sites=3,
+            filler_alu=16, filler_fp=4, random_loads=1,
+            data_footprint_bytes=512 * KIB,
+            periodic_cold_loads=1, cold_period=16, mem_seed=103,
+        ),
+        WorkloadProfile(
+            name="mcf",
+            description="network simplex: pointer chasing, huge footprint, "
+                        "hard branches that depend on missing loads",
+            hard_branch_sites=1, hard_branch_bias_bits=1, slice_depth=2,
+            branch_data_bytes=64 * MIB, predictable_branch_sites=1,
+            filler_alu=10, random_loads=2, data_footprint_bytes=64 * MIB,
+            pointer_chase_loads=1, streaming_loads=0, mem_seed=104,
+        ),
+        WorkloadProfile(
+            name="gobmk",
+            description="go engine: many hard branches on board state",
+            hard_branch_sites=3, hard_branch_bias_bits=2, slice_depth=3,
+            branch_data_bytes=32 * KIB, predictable_branch_sites=2,
+            filler_alu=22, random_loads=1, data_footprint_bytes=128 * KIB,
+            mem_seed=105,
+        ),
+        WorkloadProfile(
+            name="hmmer",
+            description="profile HMM: predictable inner loops, ALU-dense",
+            hard_branch_sites=0, predictable_branch_sites=3,
+            predictable_period=8, filler_alu=32, filler_mul=2,
+            random_loads=1, data_footprint_bytes=128 * KIB, mem_seed=106,
+        ),
+        WorkloadProfile(
+            name="sjeng",
+            description="chess: hard branches on cache-resident evaluation "
+                        "tables with deep ALU slices (paper's best case)",
+            hard_branch_sites=1, hard_branch_bias_bits=1, slice_depth=4,
+            branch_data_bytes=16 * KIB, predictable_branch_sites=2,
+            filler_alu=11, filler_chain=3, filler_mul=1, filler_fp=9,
+            random_loads=1, data_footprint_bytes=128 * KIB, mem_seed=107,
+        ),
+        WorkloadProfile(
+            name="libquantum",
+            description="quantum sim: streaming, fully predictable",
+            hard_branch_sites=0, predictable_branch_sites=1,
+            predictable_period=32, streaming_loads=4, random_loads=0,
+            data_footprint_bytes=32 * MIB, filler_alu=18, mem_seed=108,
+        ),
+        WorkloadProfile(
+            name="h264ref",
+            description="video encode: mixed branches, small blocks",
+            hard_branch_sites=1, hard_branch_bias_bits=2, slice_depth=1,
+            branch_data_bytes=32 * KIB, predictable_branch_sites=3,
+            filler_alu=8, filler_fp=12, filler_mul=2, random_loads=1,
+            data_footprint_bytes=256 * KIB, mem_seed=109,
+        ),
+        WorkloadProfile(
+            name="omnetpp",
+            description="discrete event sim: hard branches + large heap",
+            hard_branch_sites=2, hard_branch_bias_bits=2, slice_depth=3,
+            branch_data_bytes=256 * KIB, predictable_branch_sites=2,
+            filler_alu=16, random_loads=1, data_footprint_bytes=512 * KIB,
+            periodic_cold_loads=4, cold_period=8, mem_seed=110,
+        ),
+        WorkloadProfile(
+            name="astar",
+            description="path-finding: extraordinarily hard branches "
+                        "(paper footnote 1)",
+            hard_branch_sites=3, hard_branch_bias_bits=1, slice_depth=1,
+            branch_data_bytes=64 * KIB, predictable_branch_sites=1,
+            filler_alu=20, filler_fp=4, random_loads=1,
+            data_footprint_bytes=512 * KIB,
+            periodic_cold_loads=4, cold_period=8, mem_seed=111,
+        ),
+        WorkloadProfile(
+            name="xalancbmk",
+            description="XML transform: branchy, cache-resident working set",
+            hard_branch_sites=2, hard_branch_bias_bits=3, slice_depth=2,
+            branch_data_bytes=64 * KIB, predictable_branch_sites=3,
+            filler_alu=18, random_loads=1, data_footprint_bytes=256 * KIB,
+            periodic_cold_loads=1, cold_period=8, mem_seed=112,
+        ),
+    ]
+
+
+def _fp_profiles() -> List[WorkloadProfile]:
+    return [
+        WorkloadProfile(
+            name="bwaves",
+            description="CFD: streaming FP, predictable",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            predictable_period=32, streaming_loads=3, random_loads=0,
+            data_footprint_bytes=32 * MIB, filler_fp=10, filler_alu=12,
+            mem_seed=201,
+        ),
+        WorkloadProfile(
+            name="gamess",
+            description="quantum chemistry: compute-bound FP",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            filler_fp=12, filler_alu=16, filler_mul=1, random_loads=1,
+            data_footprint_bytes=256 * KIB, mem_seed=202,
+        ),
+        WorkloadProfile(
+            name="milc",
+            description="lattice QCD: streaming FP over a large grid",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            predictable_period=16, streaming_loads=3, random_loads=1,
+            data_footprint_bytes=32 * MIB, filler_fp=10, filler_alu=8,
+            mem_seed=203,
+        ),
+        WorkloadProfile(
+            name="zeusmp",
+            description="astro CFD: FP stencil, prefetch-friendly",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            predictable_period=32, streaming_loads=2, filler_fp=11,
+            filler_alu=10, data_footprint_bytes=16 * MIB, random_loads=0,
+            mem_seed=204,
+        ),
+        WorkloadProfile(
+            name="gromacs",
+            description="molecular dynamics: FP with small tables",
+            hard_branch_sites=1, hard_branch_bias_bits=4, slice_depth=2,
+            branch_data_bytes=16 * KIB, predictable_branch_sites=2,
+            filler_fp=10, filler_alu=14, random_loads=1,
+            data_footprint_bytes=256 * KIB, mem_seed=205,
+        ),
+        WorkloadProfile(
+            name="cactusADM",
+            description="numerical relativity: regular FP stencil",
+            hard_branch_sites=0, predictable_branch_sites=1,
+            predictable_period=32, streaming_loads=2, filler_fp=12,
+            filler_alu=10, data_footprint_bytes=16 * MIB, random_loads=0,
+            mem_seed=206,
+        ),
+        WorkloadProfile(
+            name="leslie3d",
+            description="CFD: streaming FP",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            predictable_period=16, streaming_loads=3, filler_fp=10,
+            filler_alu=8, data_footprint_bytes=16 * MIB, random_loads=0,
+            mem_seed=207,
+        ),
+        WorkloadProfile(
+            name="namd",
+            description="molecular dynamics: compute-bound, predictable",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            filler_fp=13, filler_alu=14, filler_mul=1, random_loads=1,
+            data_footprint_bytes=256 * KIB, mem_seed=208,
+        ),
+        WorkloadProfile(
+            name="dealII",
+            description="FEM: FP with light branching",
+            hard_branch_sites=1, hard_branch_bias_bits=4, slice_depth=2,
+            branch_data_bytes=32 * KIB, predictable_branch_sites=2,
+            filler_fp=10, filler_alu=13, random_loads=1,
+            data_footprint_bytes=512 * KIB, mem_seed=209,
+        ),
+        WorkloadProfile(
+            name="soplex",
+            description="LP solver: hard branches *and* a large sparse "
+                        "matrix footprint (mode-switch sensitive)",
+            hard_branch_sites=2, hard_branch_bias_bits=2, slice_depth=2,
+            branch_data_bytes=128 * KIB, predictable_branch_sites=2,
+            filler_alu=12, filler_fp=4, random_loads=2,
+            data_footprint_bytes=32 * MIB, mem_seed=210,
+        ),
+        WorkloadProfile(
+            name="povray",
+            description="ray tracing: FP compute with mild branching",
+            hard_branch_sites=1, hard_branch_bias_bits=4, slice_depth=3,
+            branch_data_bytes=16 * KIB, predictable_branch_sites=2,
+            filler_fp=11, filler_alu=14, random_loads=1,
+            data_footprint_bytes=128 * KIB, mem_seed=211,
+        ),
+        WorkloadProfile(
+            name="calculix",
+            description="FEM: compute-bound FP",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            filler_fp=12, filler_alu=14, filler_mul=1, random_loads=1,
+            data_footprint_bytes=512 * KIB, mem_seed=212,
+        ),
+        WorkloadProfile(
+            name="GemsFDTD",
+            description="FDTD: streaming FP over large grids",
+            hard_branch_sites=0, predictable_branch_sites=1,
+            predictable_period=32, streaming_loads=3, filler_fp=10,
+            filler_alu=8, data_footprint_bytes=32 * MIB, random_loads=1,
+            mem_seed=213,
+        ),
+        WorkloadProfile(
+            name="tonto",
+            description="quantum chemistry: FP compute",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            filler_fp=9, filler_alu=12, random_loads=1,
+            data_footprint_bytes=512 * KIB, mem_seed=214,
+        ),
+        WorkloadProfile(
+            name="lbm",
+            description="lattice Boltzmann: pure streaming",
+            hard_branch_sites=0, predictable_branch_sites=1,
+            predictable_period=64, streaming_loads=4, store_sites=2,
+            filler_fp=9, filler_alu=8, data_footprint_bytes=32 * MIB,
+            random_loads=0, mem_seed=215,
+        ),
+        WorkloadProfile(
+            name="sphinx3",
+            description="speech recognition: FP with noticeable branching",
+            hard_branch_sites=0, predictable_branch_sites=2,
+            predictable_period=8, filler_fp=12, filler_alu=6,
+            random_loads=1, data_footprint_bytes=512 * KIB, mem_seed=216,
+        ),
+    ]
+
+
+def spec2006_profiles() -> Dict[str, WorkloadProfile]:
+    """All 28 profiles (SPEC CPU2006 minus ``wrf``), keyed by name."""
+    profiles = {}
+    for p in _int_profiles() + _fp_profiles():
+        if p.name in profiles:
+            raise ValueError(f"duplicate profile: {p.name}")
+        profiles[p.name] = p
+    return profiles
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    profiles = spec2006_profiles()
+    if name not in profiles:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(profiles)}"
+        )
+    return profiles[name]

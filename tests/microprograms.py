@@ -1,0 +1,109 @@
+"""Hand-built micro-programs with known timing behaviour.
+
+Shared by the pipeline tests; each builder returns an infinite-loop
+:class:`~repro.isa.instruction.Program` exercising one pipeline behaviour.
+"""
+
+from repro.isa import Opcode, ProgramBuilder, int_reg
+
+
+def _loop_program(name, body_emitter, init_emitter=None):
+    """An infinite loop: init once, then body + jump back."""
+    b = ProgramBuilder(name)
+    if init_emitter:
+        init_emitter(b)
+    b.mark_label("loop")
+    body_emitter(b)
+    b.emit(Opcode.JUMP, target_label="loop")
+    return b.build()
+
+
+def independent_alu_program(n=8):
+    """n independent single-cycle ops per iteration: IPC should approach
+    the iALU limit (2/cycle plus the jump)."""
+    def body(b):
+        for i in range(n):
+            b.emit(Opcode.ADDI, dest=int_reg(8 + i % 16), src1=int_reg(1), imm=i)
+    return _loop_program("ilp", body)
+
+
+def dependent_chain_program(n=8):
+    """A serial chain: IPC can never exceed ~1."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=1)
+    def body(b):
+        for _ in range(n):
+            b.emit(Opcode.ADDI, dest=int_reg(1), src1=int_reg(1), imm=1)
+    return _loop_program("chain", body, init)
+
+
+def mul_chain_program(n=6):
+    """Serial multiplies (3-cycle latency): IPC ~= 1/3."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=3)
+        b.emit(Opcode.MOVI, dest=int_reg(2), imm=5)
+    def body(b):
+        for _ in range(n):
+            b.emit(Opcode.MUL, dest=int_reg(1), src1=int_reg(1), src2=int_reg(2))
+    return _loop_program("mulchain", body, init)
+
+
+def random_branch_program():
+    """A 50/50 data-dependent branch per iteration (unpredictable)."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=0x1234)
+        b.emit(Opcode.MOVI, dest=int_reg(2), imm=6364136223846793005)
+        b.emit(Opcode.MOVI, dest=int_reg(3), imm=1 << 28)
+    def body(b):
+        b.emit(Opcode.MUL, dest=int_reg(1), src1=int_reg(1), src2=int_reg(2))
+        b.emit(Opcode.ADDI, dest=int_reg(1), src1=int_reg(1), imm=1442695040888963407)
+        b.emit(Opcode.ANDI, dest=int_reg(4), src1=int_reg(1), imm=1 << 13)
+        b.emit(Opcode.BEQZ, src1=int_reg(4), target_label="skip")
+        b.emit(Opcode.ADDI, dest=int_reg(5), src1=int_reg(1), imm=1)
+        b.emit(Opcode.ADDI, dest=int_reg(6), src1=int_reg(1), imm=2)
+        b.mark_label("skip")
+        for i in range(6):
+            b.emit(Opcode.ADDI, dest=int_reg(8 + i), src1=int_reg(3), imm=i)
+    return _loop_program("randbr", body, init)
+
+
+def counted_branch_program(period=4):
+    """A perfectly periodic branch the perceptron learns."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=0)
+    def body(b):
+        b.emit(Opcode.ADDI, dest=int_reg(1), src1=int_reg(1), imm=1)
+        b.emit(Opcode.ANDI, dest=int_reg(2), src1=int_reg(1), imm=period - 1)
+        b.emit(Opcode.BNEZ, src1=int_reg(2), target_label="skip")
+        b.emit(Opcode.ADDI, dest=int_reg(3), src1=int_reg(1), imm=7)
+        b.mark_label("skip")
+        for i in range(4):
+            b.emit(Opcode.ADDI, dest=int_reg(8 + i), src1=int_reg(1), imm=i)
+    return _loop_program("counted", body, init)
+
+
+def store_load_forward_program():
+    """Every iteration stores then immediately loads the same word."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=1 << 20)
+        b.emit(Opcode.MOVI, dest=int_reg(2), imm=42)
+    def body(b):
+        b.emit(Opcode.STORE, src1=int_reg(2), src2=int_reg(1), imm=0)
+        b.emit(Opcode.LOAD, dest=int_reg(3), src1=int_reg(1), imm=0)
+        b.emit(Opcode.ADDI, dest=int_reg(2), src1=int_reg(3), imm=1)
+    return _loop_program("fwd", body, init)
+
+
+def pointer_chase_program():
+    """Serialized dependent loads over a huge region: memory-bound."""
+    def init(b):
+        b.emit(Opcode.MOVI, dest=int_reg(1), imm=1 << 30)
+        b.emit(Opcode.MOVI, dest=int_reg(2), imm=0)
+    def body(b):
+        b.emit(Opcode.ANDI, dest=int_reg(3), src1=int_reg(2),
+               imm=(64 * 1024 * 1024 - 1) & ~7)
+        b.emit(Opcode.ADD, dest=int_reg(3), src1=int_reg(3), src2=int_reg(1))
+        b.emit(Opcode.LOAD, dest=int_reg(2), src1=int_reg(3), imm=0)
+    return _loop_program("chase", body, init)
+
+

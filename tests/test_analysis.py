@@ -1,0 +1,138 @@
+"""Unit tests for speedup math, classification, and report rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    classify_programs,
+    correlation,
+    geometric_mean,
+    gm_speedup,
+    performance_ratio_with_clock,
+    render_bar_chart,
+    render_scatter,
+    render_table,
+    speedup,
+    speedup_percent,
+)
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_mixed(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_neutral(self):
+        assert geometric_mean([]) == 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_matches_log_definition(self):
+        vals = [1.1, 0.9, 1.3, 1.05]
+        expected = math.exp(sum(map(math.log, vals)) / 4)
+        assert geometric_mean(vals) == pytest.approx(expected)
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(1.2, 1.0) == pytest.approx(1.2)
+
+    def test_percent(self):
+        assert speedup_percent(1.078, 1.0) == pytest.approx(7.8)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_gm_speedup_subset(self):
+        base = {"a": 1.0, "b": 2.0, "c": 1.0}
+        var = {"a": 1.1, "b": 2.2, "c": 5.0}
+        assert gm_speedup(var, base, ["a", "b"]) == pytest.approx(1.1)
+
+
+class TestClockAdjustedPerformance:
+    def test_fig15b_formula(self):
+        # Equal IPC, competitor 13% slower clock => 13% performance win.
+        assert performance_ratio_with_clock(1.0, 1.0, 1.13) == pytest.approx(1.13)
+
+    def test_combines_ipc_and_clock(self):
+        # PUBS 2% behind in IPC but AGE pays 13% cycle time.
+        ratio = performance_ratio_with_clock(0.98, 1.0, 1.13)
+        assert ratio == pytest.approx(0.98 * 1.13)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            performance_ratio_with_clock(1.0, 1.0, 0.0)
+
+
+class TestClassification:
+    def test_threshold_split(self):
+        mpki = {"hard": 5.0, "easy": 1.0, "border": 3.0}
+        dbp, ebp = classify_programs(mpki)
+        assert dbp == ["border", "hard"]
+        assert ebp == ["easy"]
+
+    def test_custom_threshold(self):
+        dbp, ebp = classify_programs({"a": 2.0}, threshold=1.5)
+        assert dbp == ["a"] and ebp == []
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        assert correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_series_zero(self):
+        assert correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            correlation([1], [1, 2])
+
+    def test_short_series(self):
+        assert correlation([1], [1]) == 0.0
+
+
+class TestRendering:
+    def test_table_alignment(self):
+        text = render_table(["name", "value"], [["a", 1.5], ["long-name", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+    def test_bar_chart(self):
+        text = render_bar_chart(["sjeng", "mcf"], [19.2, 0.3], unit="%")
+        assert "sjeng" in text and "19.20%" in text
+        sjeng_bar = text.splitlines()[0].count("#")
+        mcf_bar = text.splitlines()[1].count("#")
+        assert sjeng_bar > mcf_bar
+
+    def test_bar_chart_negative_values(self):
+        text = render_bar_chart(["x"], [-5.0])
+        assert "-" in text
+
+    def test_bar_chart_empty(self):
+        assert render_bar_chart([], []) == "(no data)"
+
+    def test_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_scatter_contains_markers(self):
+        text = render_scatter([(1.0, 2.0, "R"), (3.0, 4.0, "B")], "x", "y")
+        assert "R" in text and "B" in text
+        assert "x" in text and "y" in text
+
+    def test_scatter_empty(self):
+        assert render_scatter([], "x", "y") == "(no data)"

@@ -1,0 +1,56 @@
+"""Unit tests for the branch target buffer."""
+
+import pytest
+
+from repro.branch import BranchTargetBuffer
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = BranchTargetBuffer(num_sets=16, assoc=2)
+        assert btb.lookup(0x40) is None
+        btb.install(0x40, 0x100)
+        assert btb.lookup(0x40) == 0x100
+
+    def test_install_overwrites_target(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.install(0x40, 0x100)
+        btb.install(0x40, 0x200)
+        assert btb.lookup(0x40) == 0x200
+
+    def test_lru_eviction_within_set(self):
+        btb = BranchTargetBuffer(num_sets=1, assoc=2)
+        btb.install(0x0, 1)
+        btb.install(0x4, 2)
+        btb.lookup(0x0)       # make 0x0 MRU
+        btb.install(0x8, 3)   # evicts 0x4
+        assert btb.lookup(0x0) == 1
+        assert btb.lookup(0x8) == 3
+        assert btb.lookup(0x4) is None
+
+    def test_distinct_sets_do_not_conflict(self):
+        btb = BranchTargetBuffer(num_sets=16, assoc=1)
+        btb.install(0x0, 1)
+        btb.install(0x4, 2)  # next set
+        assert btb.lookup(0x0) == 1
+        assert btb.lookup(0x4) == 2
+
+    def test_hit_rate_tracking(self):
+        btb = BranchTargetBuffer(16, 2)
+        btb.lookup(0x40)
+        btb.install(0x40, 0x100)
+        btb.lookup(0x40)
+        assert btb.hit_rate == pytest.approx(0.5)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(num_sets=100)
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(num_sets=16, assoc=0)
+
+    def test_capacity_many_branches(self):
+        btb = BranchTargetBuffer(num_sets=2048, assoc=4)
+        for i in range(4096):
+            btb.install(i * 4, i)
+        hits = sum(btb.lookup(i * 4) == i for i in range(4096))
+        assert hits == 4096  # 8K-entry BTB holds 4K branches easily

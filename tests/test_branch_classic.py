@@ -1,0 +1,125 @@
+"""Unit tests for gshare / bimode / tournament and the 2-bit counter table."""
+
+import random
+
+import pytest
+
+from repro.branch import (
+    AlwaysTakenPredictor,
+    BimodePredictor,
+    CounterTable,
+    GsharePredictor,
+    TournamentPredictor,
+)
+
+
+class TestCounterTable:
+    def test_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            CounterTable(100)
+
+    def test_init_value_checked(self):
+        with pytest.raises(ValueError):
+            CounterTable(16, init=4)
+
+    def test_train_saturates_both_ends(self):
+        t = CounterTable(4)
+        for _ in range(10):
+            t.train(0, True)
+        assert t.value(0) == CounterTable.STRONG_TAKEN
+        for _ in range(10):
+            t.train(0, False)
+        assert t.value(0) == CounterTable.STRONG_NOT_TAKEN
+
+    def test_hysteresis(self):
+        t = CounterTable(4, init=CounterTable.STRONG_TAKEN)
+        t.train(0, False)
+        assert t.taken(0)  # one wrong outcome does not flip a strong state
+        t.train(0, False)
+        assert not t.taken(0)
+
+    def test_index_wraps(self):
+        t = CounterTable(4)
+        t.train(5, True)
+        t.train(5, True)
+        assert t.taken(1)
+
+    def test_storage_bits(self):
+        assert CounterTable(1024).storage_bits() == 2048
+
+
+def _train(predictor, stream):
+    """stream: iterable of (pc, taken). Returns accuracy."""
+    correct = 0
+    n = 0
+    for pc, taken in stream:
+        pred = predictor.predict(pc)
+        predictor.update(pc, taken, pred)
+        correct += pred == taken
+        n += 1
+    return correct / n
+
+
+def _biased_stream(pc, prob_taken, n, seed=0):
+    rng = random.Random(seed)
+    return [(pc, rng.random() < prob_taken) for _ in range(n)]
+
+
+@pytest.mark.parametrize("cls", [GsharePredictor, BimodePredictor, TournamentPredictor])
+class TestAllPredictors:
+    def test_learns_constant_direction(self, cls):
+        p = cls()
+        acc = _train(p, [(0x40, True)] * 500)
+        assert acc > 0.9
+
+    def test_learns_strong_bias(self, cls):
+        p = cls()
+        _train(p, _biased_stream(0x40, 0.9, 500))
+        acc = _train(p, _biased_stream(0x40, 0.9, 500, seed=1))
+        assert acc > 0.75
+
+    def test_near_chance_on_random(self, cls):
+        p = cls()
+        acc = _train(p, _biased_stream(0x40, 0.5, 2000))
+        assert 0.3 < acc < 0.7
+
+    def test_storage_positive(self, cls):
+        assert cls().storage_bits() > 0
+
+    def test_stats_track_accuracy(self, cls):
+        p = cls()
+        _train(p, [(0x80, True)] * 100)
+        assert p.stats.predictions == 100
+        assert p.stats.accuracy > 0.8
+
+
+class TestTournamentSpecific:
+    def test_chooser_prefers_better_component(self):
+        """A per-PC alternating pattern is learnable by local history but
+        poorly by a short global view when many branches interleave; the
+        tournament should do at least as well as chance."""
+        p = TournamentPredictor()
+        rng = random.Random(3)
+        # Branch A alternates; branch B is random noise polluting history.
+        stream = []
+        state = False
+        for _ in range(2000):
+            state = not state
+            stream.append((0x100, state))
+            stream.append((0x200, rng.random() < 0.5))
+        acc_a = 0
+        for pc, taken in stream:
+            pred = p.predict(pc)
+            p.update(pc, taken, pred)
+            if pc == 0x100:
+                acc_a += pred == taken
+        assert acc_a / 2000 > 0.8
+
+
+class TestAlwaysTaken:
+    def test_predicts_taken(self):
+        p = AlwaysTakenPredictor()
+        assert p.predict(0x0)
+        p.update(0x0, False, True)
+        assert p.stats.mispredictions == 1
+        assert p.storage_bits() == 0

@@ -1,0 +1,123 @@
+"""Unit and property tests for the resetting confidence estimator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.branch import IdealConfidenceEstimator, ResettingConfidenceCounter
+
+
+class TestResettingCounter:
+    def test_initial_value_not_confident(self):
+        counter = ResettingConfidenceCounter(bits=2)
+        assert counter.maximum == 3
+        assert not counter.confident
+
+    def test_confident_only_at_saturation(self):
+        counter = ResettingConfidenceCounter(bits=2)
+        for expected in (1, 2):
+            counter.train(True)
+            assert counter.value == expected
+            assert not counter.confident
+        counter.train(True)
+        assert counter.confident
+
+    def test_saturates_at_maximum(self):
+        counter = ResettingConfidenceCounter(bits=2, value=3)
+        counter.train(True)
+        assert counter.value == 3
+
+    def test_misprediction_resets_to_zero(self):
+        counter = ResettingConfidenceCounter(bits=4, value=15)
+        counter.train(False)
+        assert counter.value == 0
+        assert not counter.confident
+
+    def test_allocation_initializers(self):
+        counter = ResettingConfidenceCounter(bits=3)
+        counter.reset_to_correct()
+        assert counter.confident
+        counter.reset_to_incorrect()
+        assert counter.value == 0
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            ResettingConfidenceCounter(bits=0)
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            ResettingConfidenceCounter(bits=2, value=4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.lists(st.booleans(), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_value_always_in_range_and_resets(self, bits, outcomes):
+        """Invariant: 0 <= value <= max; a wrong outcome always zeroes it."""
+        counter = ResettingConfidenceCounter(bits=bits)
+        for correct in outcomes:
+            counter.train(correct)
+            assert 0 <= counter.value <= counter.maximum
+            if not correct:
+                assert counter.value == 0
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_needs_exactly_max_correct_to_saturate(self, bits):
+        counter = ResettingConfidenceCounter(bits=bits)
+        counter.train(False)
+        for _ in range(counter.maximum - 1):
+            counter.train(True)
+            assert not counter.confident
+        counter.train(True)
+        assert counter.confident
+
+
+class TestIdealEstimator:
+    def test_unallocated_branch_is_confident(self):
+        est = IdealConfidenceEstimator()
+        assert est.is_confident(0x100)
+
+    def test_allocation_after_correct_is_confident(self):
+        est = IdealConfidenceEstimator(counter_bits=4)
+        est.train(0x100, correct=True)  # allocate at maximum
+        assert est.is_confident(0x100)
+
+    def test_allocation_after_incorrect_is_unconfident(self):
+        est = IdealConfidenceEstimator(counter_bits=4)
+        est.train(0x100, correct=False)
+        assert not est.is_confident(0x100)
+
+    def test_recovery_requires_saturation(self):
+        est = IdealConfidenceEstimator(counter_bits=2)
+        est.train(0x100, correct=False)
+        est.train(0x100, correct=True)
+        assert not est.is_confident(0x100)
+        est.train(0x100, correct=True)
+        est.train(0x100, correct=True)
+        assert est.is_confident(0x100)
+
+    def test_branches_are_independent(self):
+        est = IdealConfidenceEstimator()
+        est.train(0x100, correct=False)
+        assert est.is_confident(0x200)
+        assert not est.is_confident(0x100)
+
+    def test_unconfident_rate(self):
+        est = IdealConfidenceEstimator()
+        est.train(0x100, correct=False)
+        est.is_confident(0x100)  # unconfident
+        est.is_confident(0x200)  # confident (unallocated)
+        assert est.unconfident_rate == pytest.approx(0.5)
+
+    def test_wider_counters_are_more_pessimistic(self):
+        """Fig. 11's driving effect: more bits => longer road back to
+        confident => higher unconfident rate under the same outcome mix."""
+        outcomes = ([False] + [True] * 10) * 20
+        rates = []
+        for bits in (2, 6):
+            est = IdealConfidenceEstimator(counter_bits=bits)
+            unconf = 0
+            for correct in outcomes:
+                if not est.is_confident(0x40):
+                    unconf += 1
+                est.train(0x40, correct)
+            rates.append(unconf / len(outcomes))
+        assert rates[1] > rates[0]

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "sjeng"])
+        assert args.workload == "sjeng"
+        assert args.instructions == 10_000
+        assert not args.pubs
+
+    def test_machine_flags(self):
+        args = build_parser().parse_args(
+            ["run", "sjeng", "--pubs", "--priority-entries", "8",
+             "--non-stall", "--age-matrix"])
+        assert args.pubs and args.priority_entries == 8
+        assert args.non_stall and args.age_matrix
+
+    def test_invalid_org_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "sjeng", "--iq-org", "bogus"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "sjeng" in out and "mcf" in out
+        assert out.count("\n") >= 28
+
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "brslice_tab" in out and "total" in out
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "sjeng"]) == 0
+        out = capsys.readouterr().out
+        assert "beqz" in out and "jump" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "hmmer", "-n", "1500", "--skip", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "branch MPKI" in out
+
+    def test_run_with_pubs(self, capsys):
+        assert main(["run", "sjeng", "--pubs", "-n", "1500",
+                     "--skip", "1000"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_run_distributed(self, capsys):
+        assert main(["run", "gcc", "--distributed", "--pubs", "-n", "1200",
+                     "--skip", "800"]) == 0
+
+    def test_run_shifting_org(self, capsys):
+        assert main(["run", "gcc", "--iq-org", "shifting", "-n", "1200",
+                     "--skip", "800"]) == 0
+
+    def test_compare_defaults_to_pubs(self, capsys):
+        assert main(["compare", "sjeng", "-n", "1500", "--skip", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_suite_subset(self, capsys):
+        assert main(["suite", "--workloads", "hmmer", "sjeng",
+                     "-n", "1200", "--skip", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "GM" in out and "sjeng" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "wrf", "-n", "100"])

@@ -1,0 +1,63 @@
+"""Unit tests for simulation statistics and classification thresholds."""
+
+import pytest
+
+from repro.core import (
+    D_BP_BRANCH_MPKI_THRESHOLD,
+    MEMORY_INTENSIVE_LLC_MPKI_THRESHOLD,
+    SimStats,
+)
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        s = SimStats(cycles=200, committed=500)
+        assert s.ipc == pytest.approx(2.5)
+
+    def test_ipc_zero_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_branch_mpki(self):
+        s = SimStats(committed=10_000, mispredictions=42)
+        assert s.branch_mpki == pytest.approx(4.2)
+
+    def test_llc_mpki(self):
+        s = SimStats(committed=2_000, llc_misses=5)
+        assert s.llc_mpki == pytest.approx(2.5)
+
+    def test_prediction_accuracy(self):
+        s = SimStats(cond_branches=100, mispredictions=8)
+        assert s.prediction_accuracy == pytest.approx(0.92)
+        assert SimStats().prediction_accuracy == 1.0
+
+    def test_avg_missspec_penalty(self):
+        s = SimStats(mispredictions=4, missspec_penalty_cycles=120)
+        assert s.avg_missspec_penalty == pytest.approx(30.0)
+        assert SimStats().avg_missspec_penalty == 0.0
+
+    def test_avg_iq_wait(self):
+        s = SimStats(mispredictions=4, missspec_iq_wait_cycles=60)
+        assert s.avg_missspec_iq_wait == pytest.approx(15.0)
+
+    def test_avg_iq_occupancy(self):
+        s = SimStats(cycles=10, iq_occupancy_sum=320)
+        assert s.avg_iq_occupancy == pytest.approx(32.0)
+
+
+class TestClassification:
+    def test_paper_thresholds(self):
+        assert D_BP_BRANCH_MPKI_THRESHOLD == 3.0
+        assert MEMORY_INTENSIVE_LLC_MPKI_THRESHOLD == 1.0
+
+    def test_d_bp_boundary(self):
+        assert SimStats(committed=1000, mispredictions=3).is_difficult_branch_prediction
+        assert not SimStats(committed=1000, mispredictions=2).is_difficult_branch_prediction
+
+    def test_memory_intensity_boundary(self):
+        assert SimStats(committed=1000, llc_misses=1).is_memory_intensive
+        assert not SimStats(committed=10_000, llc_misses=9).is_memory_intensive
+
+    def test_summary_is_one_line(self):
+        s = SimStats(cycles=100, committed=150)
+        text = s.summary()
+        assert "\n" not in text and "IPC" in text

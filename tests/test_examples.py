@@ -1,0 +1,80 @@
+"""Every example script must run end to end (tiny budgets)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name, argv):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    assert "quickstart.py" in scripts
+
+
+def test_quickstart(capsys):
+    _run_example("quickstart.py", ["1500"])
+    out = capsys.readouterr().out
+    assert "PUBS speedup" in out and "IQ wait" in out
+
+
+def test_slice_anatomy(capsys):
+    _run_example("slice_anatomy.py", [])
+    out = capsys.readouterr().out
+    assert "SLICE" in out
+    assert out.count("pass") >= 1
+
+
+def test_design_space(capsys):
+    _run_example("design_space.py", ["1200"])
+    out = capsys.readouterr().out
+    assert "entries" in out and "best configuration" in out
+
+
+def test_memory_bound_study(capsys):
+    _run_example("memory_bound_study.py", ["1200"])
+    out = capsys.readouterr().out
+    assert "mcf" in out and "windows disabled" in out
+
+
+def test_workload_characterization(capsys):
+    _run_example("workload_characterization.py", ["1200"])
+    out = capsys.readouterr().out
+    assert "slice coverage" in out
+
+
+def test_misprediction_timeline(capsys):
+    _run_example("misprediction_timeline.py", ["sjeng", "1500"])
+    out = capsys.readouterr().out
+    assert "IQ wait" in out and "PUBS" in out
+
+
+def test_full_evaluation_smoke(capsys, monkeypatch):
+    """The full evaluation is the long-running example; smoke-test it on a
+    trimmed workload list by monkeypatching the profile set."""
+    import repro.workloads.profiles as profiles
+
+    full = profiles.spec2006_profiles
+
+    def tiny():
+        all_profiles = full()
+        return {k: all_profiles[k] for k in ("sjeng", "hmmer")}
+
+    monkeypatch.setattr(profiles, "spec2006_profiles", tiny)
+    monkeypatch.setattr("repro.workloads.spec2006_profiles", tiny)
+    monkeypatch.setattr("repro.spec2006_profiles", tiny)
+    _run_example("full_evaluation.py", ["800", "800"])
+    out = capsys.readouterr().out
+    assert "GM" in out

@@ -1,0 +1,132 @@
+"""End-to-end integration tests: full workloads through the full stack.
+
+These are the repository's "does the paper's story hold" checks, run at a
+reduced instruction budget so the suite stays fast.  The benchmark harness
+re-runs the same experiments at full size.
+"""
+
+import pytest
+
+from repro import (
+    ProcessorConfig,
+    PubsConfig,
+    run_pair,
+    run_workload,
+)
+
+N = 6000
+SKIP = 12000
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+
+
+@pytest.fixture(scope="module")
+def sjeng_pair():
+    return run_pair("sjeng", BASE, PUBS, instructions=N, skip=SKIP)
+
+
+@pytest.fixture(scope="module")
+def mcf_pair():
+    return run_pair("mcf", BASE, PUBS, instructions=N, skip=SKIP)
+
+
+class TestHeadlineResult:
+    def test_pubs_speeds_up_sjeng(self, sjeng_pair):
+        """The paper's best case: a large positive speedup."""
+        assert sjeng_pair.speedup_percent > 8.0
+
+    def test_sjeng_is_difficult_branch_prediction(self, sjeng_pair):
+        assert sjeng_pair.base.stats.is_difficult_branch_prediction
+
+    def test_sjeng_is_compute_intensive(self, sjeng_pair):
+        assert not sjeng_pair.base.stats.is_memory_intensive
+
+    def test_pubs_cuts_iq_wait(self, sjeng_pair):
+        assert (sjeng_pair.variant.stats.avg_missspec_iq_wait
+                < 0.6 * sjeng_pair.base.stats.avg_missspec_iq_wait)
+
+    def test_misspeculation_penalty_reduced(self, sjeng_pair):
+        assert (sjeng_pair.variant.stats.avg_missspec_penalty
+                < sjeng_pair.base.stats.avg_missspec_penalty)
+
+    def test_mcf_unaffected(self, mcf_pair):
+        """The paper's worst case: ~0.3% speedup on mcf."""
+        assert abs(mcf_pair.speedup_percent) < 2.0
+
+    def test_mcf_is_memory_intensive(self, mcf_pair):
+        assert mcf_pair.base.stats.is_memory_intensive
+        assert mcf_pair.base.stats.llc_mpki > 10
+
+    def test_unconfident_rate_substantial_on_hard_program(self, sjeng_pair):
+        rate = sjeng_pair.variant.unconfident_branch_rate
+        assert rate > 0.15
+
+
+class TestEasyPrograms:
+    def test_easy_program_unaffected(self):
+        pair = run_pair("hmmer", BASE, PUBS, instructions=N, skip=SKIP)
+        assert not pair.base.stats.is_difficult_branch_prediction
+        assert abs(pair.speedup_percent) < 4.0
+
+    def test_streaming_program_unaffected(self):
+        pair = run_pair("libquantum", BASE, PUBS, instructions=N, skip=SKIP)
+        assert abs(pair.speedup_percent) < 4.0
+
+
+class TestModeSwitch:
+    def test_mode_switch_engages_on_mcf(self, mcf_pair):
+        assert mcf_pair.variant.mode_switch_disabled_fraction > 0.9
+
+    def test_mode_switch_stays_off_on_sjeng(self, sjeng_pair):
+        assert sjeng_pair.variant.mode_switch_disabled_fraction < 0.1
+
+
+class TestVariantMachines:
+    def test_age_matrix_machine(self):
+        r = run_workload("sjeng", BASE.with_age_matrix(), instructions=N,
+                         skip=SKIP)
+        assert r.stats.committed == N
+
+    def test_pubs_plus_age(self):
+        r = run_workload("sjeng", PUBS.with_age_matrix(), instructions=N,
+                         skip=SKIP)
+        assert r.stats.committed == N
+
+    def test_blind_pubs_positive_but_below_full_pubs(self):
+        blind_cfg = BASE.with_pubs(PubsConfig(blind=True))
+        pair_blind = run_pair("sjeng", BASE, blind_cfg, instructions=N, skip=SKIP)
+        pair_full = run_pair("sjeng", BASE, PUBS, instructions=N, skip=SKIP)
+        assert pair_blind.speedup_percent > 0
+        assert pair_full.speedup_percent > pair_blind.speedup_percent - 3.0
+
+    def test_enlarged_predictor_gains_less_than_pubs(self):
+        """Fig. 13: spending the PUBS budget on a larger perceptron yields
+        marginal gains."""
+        big = BASE.with_overrides(predictor=BASE.predictor.enlarged())
+        pair_pred = run_pair("sjeng", BASE, big, instructions=N, skip=SKIP)
+        pair_pubs = run_pair("sjeng", BASE, PUBS, instructions=N, skip=SKIP)
+        assert pair_pubs.speedup_percent > pair_pred.speedup_percent
+
+    def test_size_scaled_machines_run(self):
+        from repro import size_models
+        for name, cfg in size_models().items():
+            r = run_workload("gcc", cfg, instructions=2000, skip=4000)
+            assert r.stats.committed == 2000, name
+
+
+class TestCrossConfigInvariants:
+    def test_same_dynamic_stream_across_configs(self, sjeng_pair):
+        """Base and PUBS run the identical architectural stream: committed
+        conditional-branch counts match exactly."""
+        assert (sjeng_pair.base.stats.cond_branches
+                == sjeng_pair.variant.stats.cond_branches)
+
+    def test_predictor_accuracy_unchanged_by_pubs(self, sjeng_pair):
+        """PUBS does not touch the direction predictor."""
+        assert sjeng_pair.base.predictor_accuracy == pytest.approx(
+            sjeng_pair.variant.predictor_accuracy, abs=0.02)
+
+    def test_mispredictions_equal_across_configs(self, sjeng_pair):
+        assert (sjeng_pair.base.stats.mispredictions
+                == sjeng_pair.variant.stats.mispredictions)

@@ -1,0 +1,97 @@
+"""Unit and property tests for the age matrix."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iq import AgeMatrix
+
+
+class TestBasics:
+    def test_insert_remove_valid_tracking(self):
+        am = AgeMatrix(4)
+        am.insert(2)
+        assert am.is_valid(2) and am.valid_count == 1
+        am.remove(2)
+        assert not am.is_valid(2) and am.valid_count == 0
+
+    def test_double_insert_raises(self):
+        am = AgeMatrix(4)
+        am.insert(1)
+        with pytest.raises(ValueError):
+            am.insert(1)
+
+    def test_remove_invalid_raises(self):
+        with pytest.raises(ValueError):
+            AgeMatrix(4).remove(0)
+
+    def test_out_of_range_slot(self):
+        with pytest.raises(IndexError):
+            AgeMatrix(4).insert(4)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            AgeMatrix(0)
+
+
+class TestOldestSelection:
+    def test_oldest_is_first_inserted(self):
+        am = AgeMatrix(8)
+        am.insert(5)
+        am.insert(2)
+        am.insert(7)
+        assert am.oldest([2, 5, 7]) == 5
+
+    def test_oldest_among_requesters_only(self):
+        am = AgeMatrix(8)
+        am.insert(5)  # oldest overall but not requesting
+        am.insert(2)
+        am.insert(7)
+        assert am.oldest([2, 7]) == 2
+
+    def test_no_requests(self):
+        am = AgeMatrix(4)
+        am.insert(0)
+        assert am.oldest([]) is None
+
+    def test_requests_for_invalid_slots_ignored(self):
+        am = AgeMatrix(4)
+        am.insert(1)
+        assert am.oldest([0, 2, 3]) is None
+
+    def test_slot_reuse_resets_age(self):
+        """A freed slot re-inserted becomes the *youngest*, even though its
+        index is unchanged -- the property a plain position-priority select
+        gets wrong and the age matrix fixes."""
+        am = AgeMatrix(4)
+        am.insert(0)
+        am.insert(1)
+        am.remove(0)
+        am.insert(0)  # same slot, new (young) instruction
+        assert am.oldest([0, 1]) == 1
+
+    def test_single_requester_wins(self):
+        am = AgeMatrix(4)
+        am.insert(3)
+        assert am.oldest([3]) == 3
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 15)), max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_property_matches_reference_model(ops):
+    """The bit-matrix always selects exactly what a timestamp-based
+    reference would: the valid requester with the smallest insert time."""
+    am = AgeMatrix(16)
+    insert_time = {}
+    clock = 0
+    for is_insert, slot in ops:
+        if is_insert and slot not in insert_time:
+            am.insert(slot)
+            insert_time[slot] = clock
+            clock += 1
+        elif not is_insert and slot in insert_time:
+            am.remove(slot)
+            del insert_time[slot]
+        # Compare against the reference for the full current request set.
+        requesters = list(insert_time)
+        expected = min(requesters, key=lambda s: insert_time[s]) if requesters else None
+        assert am.oldest(requesters) == expected

@@ -1,0 +1,115 @@
+"""Unit tests for the position-priority select logic and FU constraints."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.iq import AgeMatrix, FuPool, SelectLogic
+from repro.isa import FuClass
+
+
+@dataclass
+class FakeUop:
+    seq: int
+    fu: FuClass = FuClass.IALU
+
+
+def _requests(*pairs):
+    return [(slot, FakeUop(seq, fu)) for slot, seq, fu in pairs]
+
+
+class TestPositionPriority:
+    def test_grants_lowest_slots_first(self):
+        sel = SelectLogic(issue_width=2, fu_pool=FuPool(ialu=4))
+        granted = sel.select(_requests((1, 10, FuClass.IALU),
+                                       (3, 11, FuClass.IALU),
+                                       (5, 12, FuClass.IALU)))
+        assert [slot for slot, _ in granted] == [1, 3]
+
+    def test_issue_width_cap(self):
+        sel = SelectLogic(issue_width=4, fu_pool=FuPool(ialu=8))
+        reqs = _requests(*[(i, i, FuClass.IALU) for i in range(8)])
+        assert len(sel.select(reqs)) == 4
+
+    def test_empty_requests(self):
+        sel = SelectLogic(2, FuPool())
+        assert sel.select([]) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SelectLogic(0, FuPool())
+
+
+class TestFuConstraints:
+    def test_imult_single_issue(self):
+        sel = SelectLogic(issue_width=4, fu_pool=FuPool(imult=1))
+        reqs = _requests((0, 0, FuClass.IMULT), (1, 1, FuClass.IMULT))
+        granted = sel.select(reqs)
+        assert len(granted) == 1 and granted[0][0] == 0
+
+    def test_fu_conflict_skips_to_other_class(self):
+        sel = SelectLogic(issue_width=3, fu_pool=FuPool(ialu=1, ldst=2))
+        reqs = _requests((0, 0, FuClass.IALU), (1, 1, FuClass.IALU),
+                         (2, 2, FuClass.LDST))
+        granted = sel.select(reqs)
+        assert [slot for slot, _ in granted] == [0, 2]
+
+    def test_table_i_mix(self):
+        """2 iALU, 1 iMULT, 2 Ld/St, 2 FPU: 7 requests, width 4 grants 4."""
+        sel = SelectLogic(issue_width=4, fu_pool=FuPool())
+        reqs = _requests(
+            (0, 0, FuClass.IALU), (1, 1, FuClass.IALU), (2, 2, FuClass.IALU),
+            (3, 3, FuClass.LDST), (4, 4, FuClass.FPU), (5, 5, FuClass.IMULT),
+        )
+        granted = sel.select(reqs)
+        assert [slot for slot, _ in granted] == [0, 1, 3, 4]
+
+    def test_conflict_denials_counted(self):
+        sel = SelectLogic(issue_width=1, fu_pool=FuPool())
+        sel.select(_requests((0, 0, FuClass.IALU), (1, 1, FuClass.IALU)))
+        assert sel.stats.conflict_denials == 1
+        assert sel.stats.grants == 1
+
+
+class TestAgeMatrixIntegration:
+    def test_oldest_ready_granted_despite_position(self):
+        am = AgeMatrix(8)
+        am.insert(5)  # oldest (inserted first)
+        am.insert(1)
+        sel = SelectLogic(issue_width=1, fu_pool=FuPool(ialu=2), age_matrix=am)
+        reqs = _requests((1, 20, FuClass.IALU), (5, 10, FuClass.IALU))
+        granted = sel.select(reqs)
+        assert [slot for slot, _ in granted] == [5]
+        assert sel.stats.age_grants == 1
+
+    def test_remaining_grants_position_based(self):
+        am = AgeMatrix(8)
+        for slot in (6, 2, 4):
+            am.insert(slot)
+        sel = SelectLogic(issue_width=2, fu_pool=FuPool(ialu=4), age_matrix=am)
+        reqs = _requests((2, 1, FuClass.IALU), (4, 2, FuClass.IALU),
+                         (6, 0, FuClass.IALU))
+        granted = sel.select(reqs)
+        # Age matrix grants slot 6 (oldest), then position pass takes slot 2.
+        assert sorted(slot for slot, _ in granted) == [2, 6]
+
+    def test_age_grant_respects_fu_limit(self):
+        am = AgeMatrix(4)
+        am.insert(3)
+        sel = SelectLogic(issue_width=2, fu_pool=FuPool(imult=1), age_matrix=am)
+        reqs = _requests((3, 0, FuClass.IMULT))
+        assert len(sel.select(reqs)) == 1
+
+
+class TestFuPool:
+    def test_as_dict_covers_all_classes(self):
+        d = FuPool().as_dict()
+        assert set(d) == set(FuClass)
+
+    def test_scaled_never_below_one(self):
+        scaled = FuPool(ialu=2, imult=1, ldst=2, fpu=2).scaled(0.1)
+        assert min(scaled.as_dict().values()) == 1
+
+    def test_scaled_rounds(self):
+        scaled = FuPool(ialu=2, imult=1, ldst=2, fpu=2).scaled(1.5)
+        assert scaled.ialu == 3

@@ -1,0 +1,75 @@
+"""Unit tests for opcode classification and latencies."""
+
+import pytest
+
+from repro.isa import FuClass, Opcode, fu_class, is_branch, is_conditional_branch
+from repro.isa import is_load, is_mem, is_store, latency
+
+
+class TestClassification:
+    def test_conditional_branches(self):
+        conds = {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE,
+                 Opcode.BEQZ, Opcode.BNEZ}
+        for op in Opcode:
+            assert is_conditional_branch(op) == (op in conds)
+
+    def test_jump_is_branch_but_not_conditional(self):
+        assert is_branch(Opcode.JUMP)
+        assert not is_conditional_branch(Opcode.JUMP)
+
+    def test_every_conditional_branch_is_a_branch(self):
+        for op in Opcode:
+            if is_conditional_branch(op):
+                assert is_branch(op)
+
+    def test_memory_classification(self):
+        assert is_load(Opcode.LOAD) and not is_store(Opcode.LOAD)
+        assert is_store(Opcode.STORE) and not is_load(Opcode.STORE)
+        assert is_mem(Opcode.LOAD) and is_mem(Opcode.STORE)
+        assert not is_mem(Opcode.ADD)
+
+    def test_no_other_opcode_is_memory(self):
+        for op in Opcode:
+            if op not in (Opcode.LOAD, Opcode.STORE):
+                assert not is_mem(op)
+
+
+class TestFuClasses:
+    def test_every_opcode_has_a_fu_class(self):
+        for op in Opcode:
+            assert isinstance(fu_class(op), FuClass)
+
+    def test_branches_execute_on_ialu(self):
+        for op in Opcode:
+            if is_branch(op):
+                assert fu_class(op) is FuClass.IALU
+
+    def test_mul_div_use_imult(self):
+        assert fu_class(Opcode.MUL) is FuClass.IMULT
+        assert fu_class(Opcode.DIV) is FuClass.IMULT
+
+    def test_memory_uses_ldst_port(self):
+        assert fu_class(Opcode.LOAD) is FuClass.LDST
+        assert fu_class(Opcode.STORE) is FuClass.LDST
+
+    def test_fp_ops_use_fpu(self):
+        for op in (Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+                   Opcode.FMOVI):
+            assert fu_class(op) is FuClass.FPU
+
+
+class TestLatencies:
+    def test_simple_ops_are_single_cycle(self):
+        for op in (Opcode.ADD, Opcode.XOR, Opcode.ADDI, Opcode.BEQ,
+                   Opcode.JUMP, Opcode.NOP):
+            assert latency(op) == 1
+
+    def test_long_latency_ops(self):
+        assert latency(Opcode.MUL) == 3
+        assert latency(Opcode.DIV) == 12
+        assert latency(Opcode.FMUL) == 4
+        assert latency(Opcode.FDIV) == 12
+
+    def test_all_latencies_positive(self):
+        for op in Opcode:
+            assert latency(op) >= 1

@@ -1,0 +1,118 @@
+"""Property tests: executor arithmetic vs reference 64-bit semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import FunctionalExecutor, Opcode, Program, StaticInst, to_signed
+
+U64 = st.integers(min_value=0, max_value=(1 << 64) - 1)
+MASK = (1 << 64) - 1
+
+
+def _binary_result(op, a, b):
+    """Run `op r3, r1, r2` with r1=a, r2=b; returns r3."""
+    prog = Program("t", [
+        StaticInst(0, Opcode.MOVI, dest=1, imm=a),
+        StaticInst(4, Opcode.MOVI, dest=2, imm=b),
+        StaticInst(8, op, dest=3, src1=1, src2=2),
+    ])
+    ex = FunctionalExecutor(prog)
+    ex.run(3)
+    return ex.regs[3]
+
+
+class TestBinaryOps:
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_add_mod_2_64(self, a, b):
+        assert _binary_result(Opcode.ADD, a, b) == (a + b) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_sub_mod_2_64(self, a, b):
+        assert _binary_result(Opcode.SUB, a, b) == (a - b) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_mod_2_64(self, a, b):
+        assert _binary_result(Opcode.MUL, a, b) == (a * b) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_bitwise(self, a, b):
+        assert _binary_result(Opcode.AND, a, b) == a & b
+        assert _binary_result(Opcode.OR, a, b) == a | b
+        assert _binary_result(Opcode.XOR, a, b) == a ^ b
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_div_floor_or_zero(self, a, b):
+        expected = a // b if b else 0
+        assert _binary_result(Opcode.DIV, a, b) == expected
+
+    @given(U64, st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60, deadline=None)
+    def test_shifts_mask_amount(self, a, s):
+        assert _binary_result(Opcode.SHL, a, s) == (a << (s & 63)) & MASK
+        assert _binary_result(Opcode.SHR, a, s) == a >> (s & 63)
+
+
+class TestBranchSemantics:
+    def _branch_taken(self, op, a, b=None):
+        insts = [StaticInst(0, Opcode.MOVI, dest=1, imm=a)]
+        if b is not None:
+            insts.append(StaticInst(4, Opcode.MOVI, dest=2, imm=b))
+            insts.append(StaticInst(8, op, src1=1, src2=2, target=0))
+            n = 3
+        else:
+            insts.append(StaticInst(4, op, src1=1, target=0))
+            n = 2
+        ex = FunctionalExecutor(Program("t", insts))
+        return ex.run(n)[-1].taken
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_eq_ne_complementary(self, a, b):
+        assert self._branch_taken(Opcode.BEQ, a, b) == (a == b)
+        assert self._branch_taken(Opcode.BNE, a, b) == (a != b)
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_lt_ge_signed_complementary(self, a, b):
+        lt = self._branch_taken(Opcode.BLT, a, b)
+        ge = self._branch_taken(Opcode.BGE, a, b)
+        assert lt == (to_signed(a) < to_signed(b))
+        assert lt != ge
+
+    @given(U64)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_tests(self, a):
+        assert self._branch_taken(Opcode.BEQZ, a) == (a == 0)
+        assert self._branch_taken(Opcode.BNEZ, a) == (a != 0)
+
+
+class TestImmediateForms:
+    @given(U64, st.integers(min_value=-(1 << 32), max_value=1 << 32))
+    @settings(max_examples=60, deadline=None)
+    def test_addi_subi(self, a, imm):
+        prog = Program("t", [
+            StaticInst(0, Opcode.MOVI, dest=1, imm=a),
+            StaticInst(4, Opcode.ADDI, dest=2, src1=1, imm=imm),
+            StaticInst(8, Opcode.SUBI, dest=3, src1=1, imm=imm),
+        ])
+        ex = FunctionalExecutor(prog)
+        ex.run(3)
+        assert ex.regs[2] == (a + imm) & MASK
+        assert ex.regs[3] == (a - imm) & MASK
+
+    @given(U64, U64)
+    @settings(max_examples=60, deadline=None)
+    def test_andi_xori(self, a, imm):
+        prog = Program("t", [
+            StaticInst(0, Opcode.MOVI, dest=1, imm=a),
+            StaticInst(4, Opcode.ANDI, dest=2, src1=1, imm=imm),
+            StaticInst(8, Opcode.XORI, dest=3, src1=1, imm=imm),
+        ])
+        ex = FunctionalExecutor(prog)
+        ex.run(3)
+        assert ex.regs[2] == a & imm
+        assert ex.regs[3] == a ^ imm

@@ -1,0 +1,144 @@
+"""Unit tests for the composed memory hierarchy (latencies, MSHRs, bus)."""
+
+import pytest
+
+from repro.memory import CacheConfig, MemoryConfig, MemoryHierarchy
+
+
+def _small_hierarchy(prefetch=False, mem_latency=300):
+    return MemoryHierarchy(MemoryConfig(
+        l1i=CacheConfig("L1I", 1024, 2, 64, hit_latency=1),
+        l1d=CacheConfig("L1D", 1024, 2, 64, hit_latency=2),
+        l2=CacheConfig("L2", 16 * 1024, 4, 64, hit_latency=12),
+        memory_latency=mem_latency,
+        memory_bytes_per_cycle=8,
+        prefetch_enabled=prefetch,
+    ))
+
+
+class TestLatencies:
+    def test_l1_hit_latency(self):
+        h = _small_hierarchy()
+        h.warm_data(0x1000)
+        assert h.load(cycle=100, addr=0x1000) == 2
+
+    def test_l2_hit_latency(self):
+        h = _small_hierarchy()
+        h.l2.install(0x1000)
+        lat = h.load(cycle=100, addr=0x1000)
+        assert lat == 2 + 12  # L1 probe + L2 hit
+
+    def test_memory_latency(self):
+        h = _small_hierarchy()
+        lat = h.load(cycle=100, addr=0x1000)
+        # L1 (2) + L2 (12) + memory (300) + line transfer (8)
+        assert lat == 2 + 12 + 300 + 8
+
+    def test_fill_installs_after_latency(self):
+        h = _small_hierarchy()
+        lat = h.load(cycle=0, addr=0x1000)
+        assert h.load(cycle=lat + 1, addr=0x1000) == 2  # now an L1 hit
+
+    def test_ifetch_uses_l1i(self):
+        h = _small_hierarchy()
+        h.warm_ifetch(0x40)
+        assert h.ifetch(cycle=0, addr=0x40) == 1
+        assert h.stats.l1i_accesses == 1
+
+    def test_store_write_allocates(self):
+        h = _small_hierarchy()
+        h.store(cycle=0, addr=0x1000)
+        assert h.stats.l1d_misses == 1
+        assert h.load(cycle=1000, addr=0x1000) == 2
+
+
+class TestMshrMerging:
+    def test_second_access_merges_into_flight(self):
+        h = _small_hierarchy()
+        lat1 = h.load(cycle=0, addr=0x1000)
+        lat2 = h.load(cycle=10, addr=0x1008)  # same line, 10 cycles later
+        assert lat2 == lat1 - 10
+        # Only one LLC miss despite two L1 misses.
+        assert h.stats.l2_misses == 1
+        assert h.stats.l1d_misses == 2
+
+    def test_merged_latency_never_below_hit(self):
+        h = _small_hierarchy()
+        lat1 = h.load(cycle=0, addr=0x1000)
+        assert h.load(cycle=lat1 - 1, addr=0x1008) >= 2
+
+    def test_different_lines_fill_independently(self):
+        h = _small_hierarchy()
+        h.load(cycle=0, addr=0x1000)
+        h.load(cycle=0, addr=0x2000)
+        assert h.stats.l2_misses == 2
+
+
+class TestBusSerialization:
+    def test_back_to_back_fills_queue_on_the_bus(self):
+        h = _small_hierarchy()
+        lat1 = h.load(cycle=0, addr=0x1000)
+        lat2 = h.load(cycle=0, addr=0x2000)
+        lat3 = h.load(cycle=0, addr=0x3000)
+        # Each 64B line occupies the 8B/cycle bus for 8 cycles.
+        assert lat2 == lat1 + 8
+        assert lat3 == lat1 + 16
+
+    def test_bus_frees_over_time(self):
+        h = _small_hierarchy()
+        lat1 = h.load(cycle=0, addr=0x1000)
+        lat2 = h.load(cycle=1000, addr=0x2000)
+        assert lat2 == lat1  # no queueing long after
+
+
+class TestPrefetch:
+    def test_stream_gets_covered(self):
+        h = _small_hierarchy(prefetch=True, mem_latency=50)
+        cycle = 0
+        lats = []
+        for i in range(64):
+            lat = h.load(cycle, 0x100000 + i * 64)
+            lats.append(lat)
+            cycle += lat + 5
+        # Early accesses miss to memory; late ones hit L2/prefetch.
+        assert max(lats[:3]) > 50
+        assert min(lats[40:]) <= 14
+        assert h.stats.prefetches_issued > 0
+
+    def test_prefetch_disabled_never_issues(self):
+        h = _small_hierarchy(prefetch=False)
+        cycle = 0
+        for i in range(32):
+            cycle += h.load(cycle, i * 64)
+        assert h.stats.prefetches_issued == 0
+
+    def test_late_prefetch_counts_as_prefetch_hit_not_miss(self):
+        h = _small_hierarchy(prefetch=True, mem_latency=400)
+        cycle = 0
+        for i in range(8):
+            lat = h.load(cycle, 0x200000 + i * 64)
+            cycle += 1  # hammer the stream so demand catches prefetches
+        assert h.stats.prefetch_hits >= 0  # counted separately
+        # Demand misses + prefetch hits together cover the accesses that
+        # reached the L2 without a hit.
+        assert h.stats.l2_misses + h.stats.prefetch_hits >= 1
+
+
+class TestMetrics:
+    def test_llc_mpki(self):
+        h = _small_hierarchy()
+        h.load(0, 0x1000)
+        h.load(0, 0x2000)
+        assert h.llc_mpki(1000) == pytest.approx(2.0)
+        assert h.llc_mpki(0) == 0.0
+
+    def test_default_config_matches_table_i(self):
+        h = MemoryHierarchy()
+        assert h.l1i.config.size_bytes == 32 * 1024 and h.l1i.config.assoc == 8
+        assert h.l1d.config.size_bytes == 32 * 1024 and h.l1d.config.hit_latency == 2
+        assert h.l2.config.size_bytes == 2 * 1024 * 1024 and h.l2.config.assoc == 16
+        assert h.l2.config.hit_latency == 12
+        assert h.config.memory_latency == 300
+        assert h.config.prefetch_streams == 32
+        assert h.config.prefetch_distance == 16
+        assert h.config.prefetch_degree == 2

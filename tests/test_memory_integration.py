@@ -1,0 +1,99 @@
+"""Additional memory-hierarchy integration cases."""
+
+import pytest
+
+from repro.memory import CacheConfig, MemoryConfig, MemoryHierarchy
+
+
+def _h(prefetch=True, mem_latency=60):
+    return MemoryHierarchy(MemoryConfig(
+        l1i=CacheConfig("L1I", 1024, 2, 64, hit_latency=1),
+        l1d=CacheConfig("L1D", 1024, 2, 64, hit_latency=2),
+        l2=CacheConfig("L2", 32 * 1024, 4, 64, hit_latency=12),
+        memory_latency=mem_latency,
+        prefetch_enabled=prefetch,
+    ))
+
+
+class TestInstructionDataSharing:
+    def test_l2_shared_between_ifetch_and_data(self):
+        h = _h(prefetch=False)
+        h.ifetch(0, 0x4000)          # misses to memory, fills L2
+        lat = h.ifetch(1000, 0x4000)
+        assert lat == 1              # L1I hit now
+        # A *data* access to the same line hits the shared L2.
+        assert h.load(2000, 0x4000) == 2 + 12
+
+    def test_ifetch_miss_counted_separately(self):
+        h = _h(prefetch=False)
+        h.ifetch(0, 0x4000)
+        h.load(0, 0x8000)
+        assert h.stats.l1i_misses == 1
+        assert h.stats.l1d_misses == 1
+        assert h.stats.l2_misses == 2
+
+
+class TestDescendingStreams:
+    def test_prefetcher_covers_descending_stream(self):
+        h = _h(prefetch=True, mem_latency=50)
+        cycle = 0
+        lats = []
+        base = 0x100000 + 200 * 64
+        for i in range(64):
+            lat = h.load(cycle, base - i * 64)
+            lats.append(lat)
+            cycle += lat + 5
+        assert min(lats[40:]) <= 14  # late accesses covered
+
+
+class TestWarmMethods:
+    def test_warm_data_installs_both_levels(self):
+        h = _h(prefetch=False)
+        h.warm_data(0x7000)
+        assert h.l1d.probe(0x7000)
+        assert h.l2.probe(0x7000)
+        assert h.stats.l1d_accesses == 0  # warm-up leaves stats untouched
+
+    def test_warm_ifetch_installs_both_levels(self):
+        h = _h(prefetch=False)
+        h.warm_ifetch(0x40)
+        assert h.l1i.probe(0x40)
+        assert h.l2.probe(0x40)
+
+
+class TestEvictionBehaviour:
+    def test_l1_capacity_eviction_falls_back_to_l2(self):
+        h = _h(prefetch=False)
+        # Touch 3x the L1D capacity; early lines must have been evicted
+        # from L1 but remain in the larger L2.
+        lines = [0x10000 + i * 64 for i in range(48)]
+        cycle = 0
+        for addr in lines:
+            cycle += h.load(cycle, addr) + 1
+        lat = h.load(cycle + 10_000, lines[0])
+        assert lat == 2 + 12  # L1 miss, L2 hit
+
+    def test_l2_capacity_eviction_goes_to_memory(self):
+        h = _h(prefetch=False)
+        lines = [0x10000 + i * 64 for i in range(1024)]  # 2x L2 capacity
+        cycle = 0
+        for addr in lines:
+            cycle += h.load(cycle, addr) + 1
+        lat = h.load(cycle + 100_000, lines[0])
+        assert lat > 50  # back to memory
+
+
+class TestStoreLoadInteraction:
+    def test_store_then_load_same_line_hits(self):
+        h = _h(prefetch=False)
+        h.store(0, 0x9000)
+        assert h.load(10_000, 0x9008) == 2
+
+    def test_mpki_counts_demand_only(self):
+        h = _h(prefetch=True, mem_latency=50)
+        cycle = 0
+        for i in range(32):
+            cycle += h.load(cycle, 0x200000 + i * 64) + 3
+        # Prefetch fills do not count as demand misses.
+        assert h.stats.l2_misses < 32
+        assert h.stats.prefetches_issued > 0

@@ -1,0 +1,84 @@
+"""Unit tests for the stream prefetcher."""
+
+import pytest
+
+from repro.memory import StreamPrefetcher
+
+
+LINE = 64
+
+
+class TestStreamDetection:
+    def test_first_access_allocates_no_prefetch(self):
+        pf = StreamPrefetcher()
+        assert pf.observe_access(0) == []
+        assert pf.active_streams == 1
+
+    def test_second_sequential_access_confirms_and_prefetches(self):
+        pf = StreamPrefetcher(distance=16, degree=2)
+        pf.observe_access(0)
+        lines = pf.observe_access(LINE)
+        assert lines == [(1 + 16) * LINE, (1 + 17) * LINE]
+
+    def test_descending_stream(self):
+        pf = StreamPrefetcher(distance=4, degree=1)
+        pf.observe_access(100 * LINE)
+        lines = pf.observe_access(99 * LINE)
+        assert lines == [(99 - 4) * LINE]
+
+    def test_descending_near_zero_clamps(self):
+        pf = StreamPrefetcher(distance=16, degree=2)
+        pf.observe_access(2 * LINE)
+        lines = pf.observe_access(1 * LINE)
+        assert lines == []  # would-be negative lines dropped
+
+    def test_random_accesses_never_prefetch(self):
+        pf = StreamPrefetcher()
+        addrs = [0, 1000 * LINE, 52 * LINE, 7000 * LINE, 123 * LINE]
+        for a in addrs:
+            assert pf.observe_access(a) == []
+
+    def test_stride_two_still_tracks(self):
+        pf = StreamPrefetcher(distance=8, degree=1)
+        pf.observe_access(0)
+        assert pf.observe_access(2 * LINE) != []
+
+    def test_interleaved_streams_tracked_independently(self):
+        pf = StreamPrefetcher(num_streams=4, distance=4, degree=1)
+        a, b = 0, 10_000 * LINE
+        pf.observe_access(a)
+        pf.observe_access(b)
+        got_a = pf.observe_access(a + LINE)
+        got_b = pf.observe_access(b + LINE)
+        assert got_a and got_b
+        assert got_a[0] != got_b[0]
+
+    def test_stream_replacement_lru(self):
+        pf = StreamPrefetcher(num_streams=2)
+        pf.observe_access(0)
+        pf.observe_access(10_000 * LINE)
+        pf.observe_access(20_000 * LINE)  # evicts the 0-stream
+        assert pf.active_streams == 2
+        # The evicted stream no longer matches.
+        assert pf.observe_access(LINE) == []  # allocates fresh instead
+
+    def test_issued_counter(self):
+        pf = StreamPrefetcher(distance=4, degree=2)
+        pf.observe_access(0)
+        pf.observe_access(LINE)
+        assert pf.issued == 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(num_streams=0)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(distance=0)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(degree=0)
+
+    def test_long_stream_keeps_emitting(self):
+        pf = StreamPrefetcher(distance=16, degree=2)
+        emitted = 0
+        for i in range(100):
+            emitted += len(pf.observe_access(i * LINE))
+        assert emitted >= 2 * 98  # every access after the first confirms

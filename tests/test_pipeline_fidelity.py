@@ -1,0 +1,124 @@
+"""Fidelity features: commit-stream verification, misprediction timelines,
+and wrong-path memory policies."""
+
+import pytest
+
+from repro.core import Pipeline, ProcessorConfig
+from repro.isa import FunctionalExecutor
+
+from tests.microprograms import (
+    counted_branch_program,
+    random_branch_program,
+)
+
+BASE = ProcessorConfig.cortex_a72_like()
+
+
+class TestCommitStreamOracle:
+    def test_committed_stream_equals_functional_execution(self):
+        """The strongest correctness check: the sequence of committed PCs
+        (and branch outcomes) must equal a pure functional execution,
+        misprediction recoveries and wrong-path fetches notwithstanding."""
+        committed = []
+        pipe = Pipeline(random_branch_program(), BASE)
+        pipe.commit_hook = lambda uop: committed.append(
+            (uop.inst.pc, uop.actual_taken))
+        pipe.run(3000)
+
+        reference = FunctionalExecutor(random_branch_program())
+        expected = [(r.inst.pc, r.taken) for r in reference.run(3000)]
+        assert committed == expected
+
+    def test_commit_stream_with_pubs_and_age(self):
+        """Microarchitectural variants never change architecture."""
+        for cfg in (BASE.with_pubs(), BASE.with_age_matrix(),
+                    BASE.with_overrides(iq_organization="shifting"),
+                    BASE.with_overrides(distributed_iq=True)):
+            committed = []
+            pipe = Pipeline(random_branch_program(), cfg)
+            pipe.commit_hook = lambda uop: committed.append(uop.inst.pc)
+            pipe.run(1200)
+            reference = FunctionalExecutor(random_branch_program())
+            expected = [r.inst.pc for r in reference.run(1200)]
+            assert committed == expected
+
+    def test_commit_stream_with_skip(self):
+        committed = []
+        pipe = Pipeline(counted_branch_program(), BASE)
+        pipe.commit_hook = lambda uop: committed.append(uop.inst.pc)
+        pipe.run(500, skip_instructions=700)
+        reference = FunctionalExecutor(counted_branch_program())
+        reference.run(700)
+        expected = [r.inst.pc for r in reference.run(500)]
+        assert committed == expected
+
+    def test_commit_order_is_program_order(self):
+        seqs = []
+        pipe = Pipeline(random_branch_program(), BASE)
+        pipe.commit_hook = lambda uop: seqs.append(uop.trace_seq)
+        pipe.run(1500)
+        assert seqs == sorted(seqs)
+        assert all(s >= 0 for s in seqs)  # only correct-path uops commit
+
+
+class TestMispredictionLog:
+    def test_timeline_recorded_per_recovery(self):
+        pipe = Pipeline(random_branch_program(), BASE)
+        stats = pipe.run(2500, skip_instructions=500)
+        assert len(pipe.misprediction_log) > 0
+        for pc, fetch, dispatch, issue, complete in pipe.misprediction_log:
+            assert fetch < dispatch < complete
+            assert dispatch <= issue < complete
+
+    def test_log_bounded(self):
+        pipe = Pipeline(random_branch_program(), BASE)
+        pipe.run(4000)
+        assert len(pipe.misprediction_log) <= 64
+
+    def test_no_log_without_mispredictions(self):
+        from tests.microprograms import independent_alu_program
+        pipe = Pipeline(independent_alu_program(), BASE)
+        pipe.run(1500)
+        assert len(pipe.misprediction_log) == 0
+
+    def test_log_matches_penalty_stats(self):
+        """The last entries' penalties are consistent with the aggregate
+        misspeculation counters."""
+        pipe = Pipeline(random_branch_program(), BASE)
+        stats = pipe.run(1200)
+        if stats.mispredictions and len(pipe.misprediction_log) == \
+                stats.mispredictions:
+            total = sum(complete - fetch for _, fetch, _, _, complete
+                        in pipe.misprediction_log)
+            assert total == stats.missspec_penalty_cycles
+
+
+class TestWrongPathMemoryPolicies:
+    def test_pollute_policy_accesses_cache(self):
+        # Needs a program with loads on the wrong path: use a workload.
+        from repro.workloads import build_program, get_profile
+        program = build_program(get_profile("sjeng"))
+        idle = Pipeline(program, BASE, mem_seed=107)
+        idle.run(2000, skip_instructions=2000)
+        pollute_cfg = BASE.with_overrides(wrong_path_memory="pollute")
+        pollute = Pipeline(build_program(get_profile("sjeng")), pollute_cfg,
+                           mem_seed=107)
+        pollute.run(2000, skip_instructions=2000)
+        assert (pollute.hierarchy.stats.l1d_accesses
+                > idle.hierarchy.stats.l1d_accesses)
+
+    def test_pollute_policy_architecturally_identical(self):
+        """Pollution is a timing effect only: the committed stream and the
+        misprediction count are unchanged."""
+        idle = Pipeline(random_branch_program(), BASE).run(
+            1500, skip_instructions=500)
+        pollute = Pipeline(
+            random_branch_program(),
+            BASE.with_overrides(wrong_path_memory="pollute"),
+        ).run(1500, skip_instructions=500)
+        assert idle.mispredictions == pollute.mispredictions
+        assert idle.committed == pollute.committed
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            BASE.with_overrides(wrong_path_memory="chaos")

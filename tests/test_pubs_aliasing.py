@@ -1,0 +1,77 @@
+"""Hashed-tag aliasing behaviour of the PUBS tables (Sec. IV's accepted
+inaccuracy), exercised end to end through the slice tracker."""
+
+from repro.isa import Opcode, StaticInst
+from repro.pubs import PubsConfig, SliceTracker
+
+
+def _addi(pc, dest, src):
+    return StaticInst(pc, Opcode.ADDI, dest=dest, src1=src, imm=1)
+
+
+def _beqz(pc, src):
+    return StaticInst(pc, Opcode.BEQZ, src1=src, target=0)
+
+
+def _find_conf_alias(tracker, pc):
+    """A different branch PC whose conf_tab (index, hashed tag) collides."""
+    target = tracker.conf_tab.pointer(pc)
+    for candidate in range(pc + 4, pc + (1 << 22), 4):
+        if candidate != pc and tracker.conf_tab.pointer(candidate) == target:
+            return candidate
+    raise AssertionError("no alias found in the scanned range")
+
+
+class TestConfTabAliasing:
+    def test_aliased_branches_share_a_counter(self):
+        """Two branches whose PCs collide after folding share confidence
+        state: training one changes the other's estimate."""
+        tracker = SliceTracker(PubsConfig(conf_fold_width=1, conf_sets=16))
+        pc_a = 0x100
+        pc_b = _find_conf_alias(tracker, pc_a)
+        tracker.on_branch_resolved(pc_a, correct=False)
+        # Branch B never executed, yet reads A's (unconfident) counter.
+        assert not tracker.conf_tab.is_confident_pc(pc_b)
+
+    def test_unaliased_branches_independent(self):
+        tracker = SliceTracker(PubsConfig())  # paper geometry: rare aliases
+        tracker.on_branch_resolved(0x100, correct=False)
+        # A branch in a different set is untouched.
+        assert tracker.conf_tab.is_confident_pc(0x100 + 256 * 4)
+
+
+class TestBrsliceAliasing:
+    def test_spurious_slice_membership_via_alias(self):
+        """An instruction whose PC aliases a slice member's brslice entry
+        is spuriously steered to the priority partition -- harmless for
+        correctness, slightly wasteful, exactly as the paper accepts."""
+        cfg = PubsConfig(brslice_fold_width=1, brslice_sets=8)
+        tracker = SliceTracker(cfg)
+        tracker.on_branch_resolved(8, correct=False)
+        producer = _addi(0, 1, 2)
+        branch = _beqz(8, 1)
+        for _ in range(2):  # link producer into the slice
+            tracker.on_decode(producer)
+            tracker.on_decode(branch)
+        # Find an unrelated instruction aliasing the producer's entry.
+        target = tracker.brslice_tab.codec.pointer(0)
+        alias_pc = None
+        for candidate in range(4, 1 << 18, 4):
+            if candidate != 8 and \
+                    tracker.brslice_tab.codec.pointer(candidate) == target:
+                alias_pc = candidate
+                break
+        assert alias_pc is not None
+        stranger = _addi(alias_pc, 9, 10)
+        assert tracker.on_decode(stranger) is True  # spurious but safe
+
+    def test_paper_geometry_keeps_strangers_out(self):
+        tracker = SliceTracker(PubsConfig())
+        tracker.on_branch_resolved(8, correct=False)
+        producer = _addi(0, 1, 2)
+        branch = _beqz(8, 1)
+        for _ in range(2):
+            tracker.on_decode(producer)
+            tracker.on_decode(branch)
+        stranger = _addi(0x4000, 9, 10)
+        assert tracker.on_decode(stranger) is False

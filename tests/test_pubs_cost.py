@@ -1,0 +1,68 @@
+"""Unit tests for the hardware cost model (Table III)."""
+
+import pytest
+
+from repro.pubs import PubsConfig, pubs_hardware_cost, unhashed_cost
+
+
+class TestDefaultCost:
+    def test_total_near_paper_4kb(self):
+        cost = pubs_hardware_cost()
+        assert 3.5 < cost.total_kib < 4.2
+
+    def test_breakdown_structure(self):
+        cost = pubs_hardware_cost()
+        rows = cost.rows()
+        assert [name for name, _ in rows] == [
+            "def_tab", "brslice_tab", "conf_tab", "total",
+        ]
+        assert rows[-1][1] == pytest.approx(
+            rows[0][1] + rows[1][1] + rows[2][1]
+        )
+
+    def test_default_field_values(self):
+        # def_tab: 64 x (8 index + 8 hashed tag) = 1024 bits.
+        cost = pubs_hardware_cost()
+        assert cost.def_tab_bits == 64 * (8 + 8)
+        # brslice: 256 sets x 4 ways x (8 tag + (8 idx + 4 tag) pointer).
+        assert cost.brslice_tab_bits == 256 * 4 * (8 + 12)
+        # conf: 256 sets x 4 ways x (4 tag + 6 counter).
+        assert cost.conf_tab_bits == 256 * 4 * (4 + 6)
+
+    def test_brslice_is_largest_table(self):
+        cost = pubs_hardware_cost()
+        assert cost.brslice_tab_bits > cost.conf_tab_bits > cost.def_tab_bits
+
+
+class TestHashingSavings:
+    def test_hashing_shrinks_cost_dramatically(self):
+        """Sec. IV's point: full 54/55-bit tags dominate; folding to 8/4
+        bits cuts the total by >4x."""
+        hashed = pubs_hardware_cost()
+        full = unhashed_cost()
+        assert full.total_bits > 4 * hashed.total_bits
+
+    def test_unhashed_tag_widths(self):
+        full = unhashed_cost()
+        # brslice full tag: 62 - 8 = 54 bits, pointer 62 bits.
+        assert full.brslice_tab_bits == 256 * 4 * (54 + 62)
+
+
+class TestScaling:
+    def test_counter_bits_scale_conf_tab_only(self):
+        small = pubs_hardware_cost(PubsConfig(conf_counter_bits=2))
+        large = pubs_hardware_cost(PubsConfig(conf_counter_bits=8))
+        assert small.brslice_tab_bits == large.brslice_tab_bits
+        assert small.def_tab_bits == large.def_tab_bits
+        assert large.conf_tab_bits - small.conf_tab_bits == 256 * 4 * 6
+
+    def test_blind_model_would_drop_conf_tab(self):
+        """Fig. 11's 'blind' model eliminates conf_tab: its saving is the
+        conf_tab_kib component."""
+        cost = pubs_hardware_cost()
+        assert cost.conf_tab_kib > 0.5  # a meaningful saving to discuss
+
+    def test_sets_scale_table_size(self):
+        base = pubs_hardware_cost(PubsConfig())
+        doubled = pubs_hardware_cost(PubsConfig(brslice_sets=512))
+        assert doubled.brslice_tab_bits > base.brslice_tab_bits

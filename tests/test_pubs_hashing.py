@@ -1,0 +1,90 @@
+"""Unit and property tests for XOR-fold tag hashing (Sec. IV / Fig. 7)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pubs import hashed_tag, split_pc, xor_fold
+
+
+class TestXorFold:
+    def test_small_value_identity(self):
+        assert xor_fold(0b1010, 8) == 0b1010
+
+    def test_two_chunk_fold(self):
+        # 0xAB XOR 0xCD
+        assert xor_fold(0xABCD, 8) == (0xAB ^ 0xCD)
+
+    def test_zero(self):
+        assert xor_fold(0, 4) == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            xor_fold(5, 0)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_result_fits_width(self, value, width):
+        assert 0 <= xor_fold(value, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_deterministic(self, value):
+        assert xor_fold(value, 8) == xor_fold(value, 8)
+
+    def test_fold_collision_exists(self):
+        """The fold is lossy by design: distinct tags can alias."""
+        a = 0x01
+        b = 0x01 << 8 | 0x00  # 0x0100: fold8 -> 0x01 ^ 0x00 ... == 0x01
+        assert xor_fold(a, 8) == xor_fold(b, 8)
+        assert a != b
+
+
+class TestSplitPc:
+    def test_paper_example_geometry(self):
+        # Sec. IV: 128-row table -> 7 index bits, 55 = 62 - 7 tag bits.
+        index, tag = split_pc(pc=(1 << 40) | (5 << 2), index_bits=7)
+        assert index == 5
+        assert tag == (1 << 40) >> 2 >> 7
+
+    def test_alignment_bits_dropped(self):
+        i1, t1 = split_pc(0x100, 4)
+        i2, t2 = split_pc(0x103, 4)  # same instruction word
+        assert (i1, t1) == (i2, t2)
+
+    def test_zero_index_bits(self):
+        index, tag = split_pc(0x40, 0)
+        assert index == 0
+        assert tag == 0x40 >> 2
+
+    def test_negative_index_bits_rejected(self):
+        with pytest.raises(ValueError):
+            split_pc(0x40, -1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.integers(min_value=0, max_value=12))
+    def test_split_reassembles(self, pc, index_bits):
+        index, tag = split_pc(pc, index_bits, word_width=62)
+        word = (pc >> 2) & ((1 << 62) - 1)
+        assert (tag << index_bits) | index == word
+
+
+class TestHashedTag:
+    def test_width(self):
+        assert 0 <= hashed_tag(0xDEADBEEF, 7, 8) < 256
+
+    def test_consistent_with_primitives(self):
+        pc = 0xCAFE40
+        _, tag = split_pc(pc, 8)
+        assert hashed_tag(pc, 8, 4) == xor_fold(tag, 4)
+
+    def test_distinguishes_most_pcs(self):
+        """With 8-bit hashed tags, a few hundred distinct PCs mostly get
+        distinct (index, tag) pairs -- the paper's 'hardly degrades'."""
+        seen = {}
+        collisions = 0
+        for i in range(512):
+            pc = i * 4
+            key = (split_pc(pc, 8)[0], hashed_tag(pc, 8, 8))
+            if key in seen:
+                collisions += 1
+            seen[key] = pc
+        assert collisions < 16

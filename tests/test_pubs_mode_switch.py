@@ -1,0 +1,62 @@
+"""Unit tests for the LLC-MPKI mode switch."""
+
+import pytest
+
+from repro.pubs import ModeSwitch
+
+
+class TestModeSwitch:
+    def test_starts_active(self):
+        assert ModeSwitch().pubs_active
+
+    def test_no_decision_before_full_window(self):
+        ms = ModeSwitch(threshold_mpki=1.0, interval=1000)
+        assert ms.observe(committed=999, llc_misses=999)  # way over threshold
+        assert ms.stats.windows == 0
+
+    def test_disables_above_threshold(self):
+        ms = ModeSwitch(threshold_mpki=10.0, interval=1000)
+        assert not ms.observe(committed=1000, llc_misses=20)  # 20 MPKI
+        assert ms.last_window_mpki == pytest.approx(20.0)
+
+    def test_stays_enabled_below_threshold(self):
+        ms = ModeSwitch(threshold_mpki=10.0, interval=1000)
+        assert ms.observe(committed=1000, llc_misses=5)  # 5 MPKI
+
+    def test_reenables_when_phase_ends(self):
+        ms = ModeSwitch(threshold_mpki=10.0, interval=1000)
+        ms.observe(1000, 50)
+        assert not ms.pubs_active
+        ms.observe(2000, 51)  # only 1 miss in the second window
+        assert ms.pubs_active
+
+    def test_window_deltas_not_cumulative(self):
+        ms = ModeSwitch(threshold_mpki=10.0, interval=1000)
+        ms.observe(1000, 500)   # heavy first window
+        ms.observe(2000, 500)   # zero misses in second window
+        assert ms.last_window_mpki == 0.0
+        assert ms.pubs_active
+
+    def test_observed_every_commit_but_decides_per_window(self):
+        ms = ModeSwitch(threshold_mpki=1.0, interval=100)
+        for committed in range(1, 301):
+            ms.observe(committed, llc_misses=committed)  # 1000 MPKI
+        assert ms.stats.windows == 3
+        assert not ms.pubs_active
+
+    def test_disabled_estimator_always_active(self):
+        ms = ModeSwitch(threshold_mpki=0.0, interval=10, enabled=False)
+        assert ms.observe(1000, 10_000)
+        assert ms.stats.windows == 0
+
+    def test_disabled_fraction(self):
+        ms = ModeSwitch(threshold_mpki=10.0, interval=100)
+        ms.observe(100, 50)   # off
+        ms.observe(200, 50)   # on
+        assert ms.stats.disabled_fraction == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeSwitch(interval=0)
+        with pytest.raises(ValueError):
+            ModeSwitch(threshold_mpki=-1)

@@ -1,0 +1,168 @@
+"""Unit tests for def_tab / brslice_tab / conf_tab."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pubs import BrsliceTab, ConfTab, DefTab, Pointer, PointerCodec
+
+
+class TestPointerCodec:
+    def test_pointer_fields(self):
+        codec = PointerCodec(num_sets=128, fold_width=8)
+        ptr = codec.pointer(0x200)
+        assert 0 <= ptr.index < 128
+        assert 0 <= ptr.tag < 256
+        assert codec.pointer_bits == 7 + 8
+
+    def test_memoization_returns_same_object(self):
+        codec = PointerCodec(64, 4)
+        assert codec.pointer(0x40) is codec.pointer(0x40)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            PointerCodec(100, 8)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    @settings(max_examples=50)
+    def test_index_from_pc_low_bits(self, pc):
+        codec = PointerCodec(256, 8)
+        assert codec.pointer(pc).index == (pc >> 2) & 255
+
+
+class TestDefTab:
+    def test_records_and_retrieves_writer(self):
+        tab = DefTab()
+        ptr = Pointer(3, 7)
+        tab.record_writer(5, ptr)
+        assert tab.writer_of(5) == ptr
+
+    def test_unwritten_register_is_none(self):
+        assert DefTab().writer_of(0) is None
+
+    def test_overwrite_keeps_latest(self):
+        tab = DefTab()
+        tab.record_writer(5, Pointer(1, 1))
+        tab.record_writer(5, Pointer(2, 2))
+        assert tab.writer_of(5) == Pointer(2, 2)
+
+    def test_full_size_64_rows(self):
+        tab = DefTab()
+        assert tab.num_regs == 64
+        tab.record_writer(63, Pointer(0, 0))
+        assert tab.writer_of(63) == Pointer(0, 0)
+
+    def test_clear(self):
+        tab = DefTab()
+        tab.record_writer(5, Pointer(1, 1))
+        tab.clear()
+        assert tab.writer_of(5) is None
+
+
+class TestBrsliceTab:
+    def test_link_then_lookup(self):
+        tab = BrsliceTab(num_sets=64, assoc=2, fold_width=8)
+        conf_ptr = Pointer(10, 3)
+        slot = tab.codec.pointer(0x80)
+        tab.link(slot, conf_ptr)
+        assert tab.lookup(0x80) == conf_ptr
+
+    def test_miss_returns_none(self):
+        tab = BrsliceTab(64, 2, 8)
+        assert tab.lookup(0x80) is None
+
+    def test_relink_updates_pointer(self):
+        tab = BrsliceTab(64, 2, 8)
+        slot = tab.codec.pointer(0x80)
+        tab.link(slot, Pointer(1, 1))
+        tab.link(slot, Pointer(2, 2))
+        assert tab.lookup(0x80) == Pointer(2, 2)
+
+    def test_set_capacity_evicts_lru(self):
+        tab = BrsliceTab(num_sets=1, assoc=2, fold_width=8)
+        pcs = [0x0, 0x4, 0x8]  # all map to set 0
+        for i, pc in enumerate(pcs[:2]):
+            tab.link(tab.codec.pointer(pc), Pointer(i, i))
+        tab.lookup(0x0)  # refresh LRU
+        tab.link(tab.codec.pointer(0x8), Pointer(9, 9))
+        assert tab.lookup(0x0) is not None
+        assert tab.lookup(0x4) is None  # evicted
+
+    def test_hashed_tag_aliasing_possible(self):
+        """Two PCs with equal index and folded tag share an entry -- the
+        cost-reduction hardware's accepted inaccuracy."""
+        tab = BrsliceTab(num_sets=1, assoc=4, fold_width=1)
+        # fold_width=1 makes aliases easy: find two PCs with equal 1-bit tag.
+        tab.link(tab.codec.pointer(0x0), Pointer(5, 5))
+        aliases = [pc for pc in range(4, 4096, 4)
+                   if tab.codec.pointer(pc) == tab.codec.pointer(0x0)]
+        assert aliases, "expected at least one alias with 1-bit tags"
+        assert tab.lookup(aliases[0]) == Pointer(5, 5)
+
+    def test_hit_statistics(self):
+        tab = BrsliceTab(64, 2, 8)
+        tab.lookup(0x80)
+        tab.link(tab.codec.pointer(0x80), Pointer(0, 0))
+        tab.lookup(0x80)
+        assert tab.lookups == 2 and tab.hits == 1
+
+    def test_clear(self):
+        tab = BrsliceTab(64, 2, 8)
+        tab.link(tab.codec.pointer(0x80), Pointer(0, 0))
+        tab.clear()
+        assert tab.lookup(0x80) is None
+
+
+class TestConfTab:
+    def test_unallocated_is_confident(self):
+        tab = ConfTab(64, 2, 4, counter_bits=2)
+        assert tab.is_confident_pc(0x40)
+        assert tab.counter_for_pc(0x40) is None
+
+    def test_allocation_policy(self):
+        tab = ConfTab(64, 2, 4, counter_bits=2)
+        tab.train(0x40, correct=True)
+        assert tab.is_confident_pc(0x40)  # allocated at maximum
+        tab.train(0x80, correct=False)
+        assert not tab.is_confident_pc(0x80)  # allocated at zero
+
+    def test_reset_on_misprediction(self):
+        tab = ConfTab(64, 2, 4, counter_bits=2)
+        tab.train(0x40, correct=True)
+        tab.train(0x40, correct=False)
+        assert not tab.is_confident_pc(0x40)
+        for _ in range(3):
+            tab.train(0x40, correct=True)
+        assert tab.is_confident_pc(0x40)
+
+    def test_pointer_dereference_matches_pc_lookup(self):
+        tab = ConfTab(64, 2, 4, counter_bits=2)
+        tab.train(0x40, correct=False)
+        ptr = tab.pointer(0x40)
+        assert tab.counter_for_pointer(ptr) is tab.counter_for_pc(0x40)
+        assert not tab.is_confident_pointer(ptr)
+
+    def test_unallocated_pointer_confident(self):
+        tab = ConfTab(64, 2, 4, counter_bits=2)
+        assert tab.is_confident_pointer(Pointer(5, 5))
+
+    def test_set_eviction(self):
+        tab = ConfTab(num_sets=1, assoc=2, fold_width=8, counter_bits=2)
+        tab.train(0x0, correct=False)
+        tab.train(0x4, correct=False)
+        tab.train(0x8, correct=False)  # evicts LRU (0x0)
+        assert tab.counter_for_pc(0x0) is None
+        assert tab.counter_for_pc(0x8) is not None
+
+    def test_counter_bits_respected(self):
+        tab = ConfTab(64, 2, 4, counter_bits=3)
+        tab.train(0x40, correct=False)
+        counter = tab.counter_for_pc(0x40)
+        assert counter.maximum == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfTab(64, 0)
+        with pytest.raises(ValueError):
+            ConfTab(64, 2, 4, counter_bits=0)
+        with pytest.raises(ValueError):
+            BrsliceTab(64, 0)

