@@ -5,7 +5,7 @@ Paper's headline: +7.8% geometric mean over the difficult-branch-prediction
 the easy (E-BP) set.
 """
 
-from common import all_workloads, gm_percent, run_cached
+from common import all_workloads, gm_percent, prefetch, run_cached
 
 from repro import ProcessorConfig
 from repro.analysis import render_bar_chart, render_table
@@ -16,6 +16,7 @@ PUBS = BASE.with_pubs()
 
 def _run_figure8():
     rows = []
+    prefetch(all_workloads(), [BASE, PUBS])
     for name in all_workloads():
         base = run_cached(name, BASE)
         pubs = run_cached(name, PUBS)

@@ -1,0 +1,89 @@
+"""Harness throughput: parallel sweep scaling and simulator speed.
+
+Not a paper figure -- this measures the reproduction's own performance.
+A 4-workload x 2-config sweep (cache disabled, so every job simulates)
+runs once serially and once with ``min(4, cpu_count)`` workers; the
+artifact records wall time per mode, per-job simulated-cycle throughput,
+and the parallel speedup.  On a >= 4-core machine the 8-job sweep must
+scale at least 2x; single-core machines still exercise both code paths
+and record their numbers, but skip the scaling assertion.
+
+Writes ``benchmarks/artifacts/perf_throughput.json`` for trend tracking.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from common import INSTRUCTIONS, SKIP
+
+from repro import ProcessorConfig
+from repro.analysis import render_table
+from repro.exec import SimJob, SweepExecutor
+
+WORKLOADS = ["sjeng", "gobmk", "gcc", "mcf"]
+ARTIFACT = Path(__file__).parent / "artifacts" / "perf_throughput.json"
+
+
+def _sweep_jobs():
+    base = ProcessorConfig.cortex_a72_like()
+    return [SimJob.make(name, cfg, INSTRUCTIONS, SKIP)
+            for name in WORKLOADS for cfg in (base, base.with_pubs())]
+
+
+def _timed_run(jobs, workers):
+    executor = SweepExecutor(jobs=workers, cache=False)
+    start = time.perf_counter()
+    results = executor.run(jobs)
+    elapsed = time.perf_counter() - start
+    assert executor.simulations_run == len(jobs), "cache must be disabled"
+    cycles = sum(r.stats.cycles for r in results)
+    return {
+        "workers": workers,
+        "wall_seconds": elapsed,
+        "simulated_cycles": cycles,
+        "cycles_per_second": cycles / elapsed if elapsed > 0 else 0.0,
+    }, results
+
+
+def test_perf_throughput(report):
+    jobs = _sweep_jobs()
+    cpus = os.cpu_count() or 1
+    workers = min(4, cpus)
+
+    serial, serial_results = _timed_run(jobs, 1)
+    parallel, parallel_results = _timed_run(jobs, workers)
+    assert parallel_results == serial_results, \
+        "parallel execution must be bit-identical to serial"
+    speedup = serial["wall_seconds"] / parallel["wall_seconds"] \
+        if parallel["wall_seconds"] > 0 else 0.0
+
+    artifact = {
+        "sweep": {"workloads": WORKLOADS, "configs": ["base", "pubs"],
+                  "jobs": len(jobs), "instructions": INSTRUCTIONS,
+                  "skip": SKIP},
+        "cpu_count": cpus,
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": speedup,
+    }
+    ARTIFACT.parent.mkdir(parents=True, exist_ok=True)
+    ARTIFACT.write_text(json.dumps(artifact, indent=2) + "\n")
+
+    rows = [
+        ["jobs in sweep", str(len(jobs))],
+        ["serial wall s", f"{serial['wall_seconds']:.2f}"],
+        [f"parallel wall s (x{workers})", f"{parallel['wall_seconds']:.2f}"],
+        ["speedup", f"{speedup:.2f}x"],
+        ["serial cycles/s", f"{serial['cycles_per_second']:,.0f}"],
+        ["parallel cycles/s", f"{parallel['cycles_per_second']:,.0f}"],
+    ]
+    report(f"Harness throughput ({cpus}-core host; artifact: {ARTIFACT.name})",
+           render_table(["metric", "value"], rows))
+
+    assert serial["simulated_cycles"] == parallel["simulated_cycles"]
+    if cpus >= 4:
+        assert speedup >= 2.0, \
+            f"8-job sweep with {workers} workers should scale >= 2x on a " \
+            f"{cpus}-core machine, measured {speedup:.2f}x"

@@ -41,6 +41,7 @@ from .core import (
     simulate,
     size_models,
 )
+from .exec import ResultCache, SimJob, SweepExecutor, default_jobs
 from .iq import AGE_MATRIX_IQ_DELAY_FACTOR, AgeMatrix, IssueQueue
 from .pubs import PubsConfig, SliceTracker, pubs_hardware_cost
 from .workloads import WorkloadProfile, build_program, get_profile, spec2006_profiles
@@ -62,6 +63,10 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "size_models",
+    "ResultCache",
+    "SimJob",
+    "SweepExecutor",
+    "default_jobs",
     "AGE_MATRIX_IQ_DELAY_FACTOR",
     "AgeMatrix",
     "IssueQueue",

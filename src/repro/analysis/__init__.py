@@ -2,6 +2,8 @@
 
 from .report import render_bar_chart, render_scatter, render_table
 from .runner import (
+    BENCH_INSTRUCTIONS,
+    BENCH_SKIP,
     DEFAULT_INSTRUCTIONS,
     DEFAULT_SKIP,
     EXPECTED_D_BP,
@@ -10,6 +12,7 @@ from .runner import (
     run_pair,
     run_suite,
     run_workload,
+    shared_executor,
 )
 from .robustness import (
     SweepSummary,
@@ -48,9 +51,12 @@ __all__ = [
     "render_bar_chart",
     "render_scatter",
     "render_table",
+    "BENCH_INSTRUCTIONS",
+    "BENCH_SKIP",
     "DEFAULT_INSTRUCTIONS",
     "DEFAULT_SKIP",
     "EXPECTED_D_BP",
+    "shared_executor",
     "PairedRun",
     "dbp_workloads",
     "run_pair",

@@ -5,6 +5,29 @@ program for a named profile, runs the timing simulation, and (for paired
 experiments) keeps the functional memory seed identical across machine
 configurations so base and variant execute the *same* dynamic instruction
 stream.
+
+Every entry point routes through :class:`repro.exec.SweepExecutor`, so all
+callers get job deduplication, the persistent on-disk result cache, and --
+for batched calls like :func:`run_suite` -- parallel fan-out across worker
+processes.  Determinism is unaffected: a cached or parallel run returns
+stats identical to a fresh serial run (seeded generators, independent jobs).
+
+**Instruction budgets (single source of truth).**  Two budget pairs exist,
+both defined here and nowhere else:
+
+* ``DEFAULT_INSTRUCTIONS`` / ``DEFAULT_SKIP`` (20000 / 2000) -- the library
+  defaults for ad-hoc ``run_workload`` / ``run_pair`` / ``run_suite`` calls
+  and the examples: a quick, representative run.
+* ``BENCH_INSTRUCTIONS`` / ``BENCH_SKIP`` (8000 / 16000, overridable via
+  ``REPRO_BENCH_INSTRUCTIONS`` / ``REPRO_BENCH_SKIP``) -- the benchmark
+  harness budget used by everything under ``benchmarks/``: a shorter timed
+  sample after a *longer* warm-up, so the reduced-scale figure
+  reproductions start from a representative microarchitectural state.
+  The environment overrides affect the bench harness only.
+
+(Historically the two pairs lived in different modules, both read the same
+environment variables with different fallbacks, and the bench docstring
+disagreed with both -- reconciled here.)
 """
 
 from __future__ import annotations
@@ -15,12 +38,38 @@ from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..core.config import ProcessorConfig
 from ..core.simulator import SimulationResult, simulate
+from ..exec import SimJob, SweepExecutor
 from ..workloads.generator import build_program
 from ..workloads.profiles import WorkloadProfile, get_profile, spec2006_profiles
 
-#: Default instruction budgets; override via environment for longer runs.
-DEFAULT_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "20000"))
-DEFAULT_SKIP = int(os.environ.get("REPRO_BENCH_SKIP", "2000"))
+#: Library-default budgets for ad-hoc runs and the examples.
+DEFAULT_INSTRUCTIONS = 20_000
+DEFAULT_SKIP = 2_000
+
+#: Benchmark-harness budgets (the ``benchmarks/`` suite); override via the
+#: environment for longer, smoother runs.
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "8000"))
+BENCH_SKIP = int(os.environ.get("REPRO_BENCH_SKIP", "16000"))
+
+_EXECUTOR: Optional[SweepExecutor] = None
+
+
+def shared_executor() -> SweepExecutor:
+    """The module-wide executor (lazy; shares one cache across callers)."""
+    global _EXECUTOR
+    if _EXECUTOR is None:
+        _EXECUTOR = SweepExecutor()
+    return _EXECUTOR
+
+
+def _executor_for(jobs: Optional[int], cache: "Optional[bool]"):
+    """Pick the shared executor or build a specialised one."""
+    if jobs is None and cache is None:
+        return shared_executor()
+    if cache is None:
+        return SweepExecutor(jobs=jobs,
+                             cache=shared_executor().cache or False)
+    return SweepExecutor(jobs=jobs, cache=cache)
 
 
 def run_workload(
@@ -28,17 +77,24 @@ def run_workload(
     config: Optional[ProcessorConfig] = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     skip: int = DEFAULT_SKIP,
+    cache: Optional[bool] = None,
 ) -> SimulationResult:
-    """Simulate one named workload on one machine configuration."""
-    profile = get_profile(workload) if isinstance(workload, str) else workload
-    program = build_program(profile)
-    return simulate(
-        program,
-        config,
-        max_instructions=instructions,
-        skip_instructions=skip,
-        mem_seed=profile.mem_seed,
-    )
+    """Simulate one named workload on one machine configuration.
+
+    ``cache=None`` follows the environment policy (persistent cache on
+    unless ``REPRO_CACHE=0``); ``cache=False`` forces a fresh simulation.
+    """
+    job = SimJob.make(workload, config, instructions, skip)
+    if cache is False:
+        # Uncached fast path: no hashing, no disk.
+        return simulate(
+            build_program(job.profile),
+            job.config,
+            max_instructions=instructions,
+            skip_instructions=skip,
+            mem_seed=job.profile.mem_seed,
+        )
+    return _executor_for(None, cache).run_one(job)
 
 
 @dataclass
@@ -64,11 +120,16 @@ def run_pair(
     variant_config: ProcessorConfig,
     instructions: int = DEFAULT_INSTRUCTIONS,
     skip: int = DEFAULT_SKIP,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
 ) -> PairedRun:
     """Run base and variant on the identical dynamic instruction stream."""
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    base = run_workload(profile, base_config, instructions, skip)
-    variant = run_workload(profile, variant_config, instructions, skip)
+    executor = _executor_for(jobs, cache)
+    base, variant = executor.run([
+        SimJob(profile, base_config, instructions, skip),
+        SimJob(profile, variant_config, instructions, skip),
+    ])
     return PairedRun(profile.name, base, variant)
 
 
@@ -77,18 +138,28 @@ def run_suite(
     workloads: Optional[Iterable[str]] = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     skip: int = DEFAULT_SKIP,
+    jobs: Optional[int] = None,
+    cache: Optional[bool] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every (config, workload) pair.
 
-    Returns ``results[config_name][workload_name]``.
+    Returns ``results[config_name][workload_name]``.  The whole cross
+    product is submitted as one batch, so with ``jobs > 1`` (or
+    ``REPRO_JOBS``) independent simulations run in parallel; results are
+    identical to the serial path.
     """
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
+    profiles = [get_profile(name) for name in names]
+    batch = [
+        SimJob(profile, config, instructions, skip)
+        for config in configs.values()
+        for profile in profiles
+    ]
+    flat = _executor_for(jobs, cache).run(batch)
     results: Dict[str, Dict[str, SimulationResult]] = {}
-    for config_name, config in configs.items():
-        per_config: Dict[str, SimulationResult] = {}
-        for name in names:
-            per_config[name] = run_workload(name, config, instructions, skip)
-        results[config_name] = per_config
+    it = iter(flat)
+    for config_name in configs:
+        results[config_name] = {name: next(it) for name in names}
     return results
 
 

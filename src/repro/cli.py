@@ -8,6 +8,12 @@ Commands:
 * ``suite``                     -- Fig. 8-style sweep over many workloads
 * ``cost``                      -- Table III hardware cost
 * ``disasm WORKLOAD``           -- generated program listing
+* ``cache stats|clear``         -- persistent result-cache maintenance
+
+Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
+fans independent runs across worker processes, and results persist in the
+on-disk cache (``REPRO_CACHE_DIR``; ``--no-cache`` or ``REPRO_CACHE=0``
+disables it).
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from typing import List, Optional
 
 from .analysis import geometric_mean, render_table, run_pair, run_workload
 from .core import ProcessorConfig
+from .exec import CACHE_SCHEMA_VERSION, ResultCache, SimJob, SweepExecutor
 from .pubs import PubsConfig, pubs_hardware_cost
 from .workloads import build_program, get_profile, spec2006_profiles
 
@@ -60,6 +67,19 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="instructions fast-forwarded for warm-up")
 
 
+def _add_exec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: REPRO_JOBS or the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+
+
+def _cache_flag(args) -> Optional[bool]:
+    """Map --no-cache onto the executor's cache policy argument."""
+    return False if args.no_cache else None
+
+
 def _cmd_list(args) -> int:
     rows = []
     for name, profile in sorted(spec2006_profiles().items()):
@@ -73,7 +93,8 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     config = _machine_from_args(args)
-    result = run_workload(args.workload, config, args.instructions, args.skip)
+    result = run_workload(args.workload, config, args.instructions, args.skip,
+                          cache=_cache_flag(args))
     print(result.summary())
     s = result.stats
     print(render_table(["metric", "value"], [
@@ -95,7 +116,8 @@ def _cmd_compare(args) -> int:
     variant = _machine_from_args(args)
     if variant == base:  # default comparison is against PUBS
         variant = base.with_pubs()
-    pair = run_pair(args.workload, base, variant, args.instructions, args.skip)
+    pair = run_pair(args.workload, base, variant, args.instructions, args.skip,
+                    jobs=args.jobs, cache=_cache_flag(args))
     b, v = pair.base.stats, pair.variant.stats
     print(render_table(["metric", "base", "variant"], [
         ["IPC", f"{b.ipc:.3f}", f"{v.ipc:.3f}"],
@@ -114,16 +136,24 @@ def _cmd_suite(args) -> int:
     if variant == base:
         variant = base.with_pubs()
     names = args.workloads or sorted(spec2006_profiles())
+    # One batch for the whole sweep: the executor dedupes, serves warm
+    # results from the persistent cache, and fans misses over --jobs.
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args))
+    batch = [SimJob.make(name, cfg, args.instructions, args.skip)
+             for name in names for cfg in (base, variant)]
+    results = executor.run(batch)
     rows = []
     dbp_ratios, ebp_ratios = [], []
-    for name in names:
-        pair = run_pair(name, base, variant, args.instructions, args.skip)
-        dbp = pair.base.stats.is_difficult_branch_prediction
-        (dbp_ratios if dbp else ebp_ratios).append(pair.speedup)
+    for i, name in enumerate(names):
+        base_r, variant_r = results[2 * i], results[2 * i + 1]
+        speedup = variant_r.stats.ipc / base_r.stats.ipc
+        dbp = base_r.stats.is_difficult_branch_prediction
+        (dbp_ratios if dbp else ebp_ratios).append(speedup)
         rows.append([name, "D-BP" if dbp else "E-BP",
-                     pair.base.stats.branch_mpki, pair.base.stats.llc_mpki,
-                     pair.speedup_percent])
-        print(f"  {name}: {pair.speedup_percent:+.2f}%", file=sys.stderr)
+                     base_r.stats.branch_mpki, base_r.stats.llc_mpki,
+                     (speedup - 1.0) * 100.0])
+        print(f"  {name}: {(speedup - 1.0) * 100.0:+.2f}%", file=sys.stderr)
+    print(f"  [{executor.summary()}]", file=sys.stderr)
     rows.sort(key=lambda r: (r[1], -r[2]))
     print(render_table(
         ["workload", "set", "branch MPKI", "LLC MPKI", "speedup %"], rows))
@@ -146,6 +176,22 @@ def _cmd_disasm(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+        return 0
+    entries = len(cache)
+    print(render_table(["property", "value"], [
+        ["directory", str(cache.directory)],
+        ["schema version", str(CACHE_SCHEMA_VERSION)],
+        ["entries", str(entries)],
+        ["size", f"{cache.size_bytes() / 1024:.1f} KB"],
+    ]))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,18 +206,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("workload")
     _add_machine_args(p_run)
     _add_budget_args(p_run)
+    _add_exec_args(p_run)
 
     p_cmp = sub.add_parser("compare", help="base vs variant on one workload")
     p_cmp.add_argument("workload")
     _add_machine_args(p_cmp)
     _add_budget_args(p_cmp)
+    _add_exec_args(p_cmp)
 
     p_suite = sub.add_parser("suite", help="sweep many workloads (Fig. 8)")
     p_suite.add_argument("--workloads", nargs="*", default=None)
     _add_machine_args(p_suite)
     _add_budget_args(p_suite)
+    _add_exec_args(p_suite)
 
     sub.add_parser("cost", help="print the Table III hardware cost")
+
+    p_cache = sub.add_parser("cache", help="persistent result-cache tools")
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--dir", default=None,
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro)")
 
     p_dis = sub.add_parser("disasm", help="print a workload's generated code")
     p_dis.add_argument("workload")
@@ -186,6 +241,7 @@ _COMMANDS = {
     "suite": _cmd_suite,
     "cost": _cmd_cost,
     "disasm": _cmd_disasm,
+    "cache": _cmd_cache,
 }
 
 

@@ -21,11 +21,24 @@ results written back in cycle ``c`` can feed an issue in cycle ``c`` only
 through the pre-scheduled ready cycles (producers set their consumers'
 earliest issue cycle at their own issue), giving back-to-back issue of
 dependent single-cycle operations.
+
+The issue stage keeps an *incremental ready set* instead of re-scanning the
+whole IQ every cycle: at dispatch each uop either gets a known ready cycle
+(all producers already scheduled) or registers as a waiter on its
+not-yet-scheduled source registers; a producer's issue wakes its waiters.
+This is valid because, while a uop is IQ-resident, each source's ready
+cycle makes exactly one transition (unscheduled -> a fixed cycle): sources
+cannot be re-renamed under a resident consumer (their registers are freed
+only at the commit of a younger writer, which retires after the consumer),
+and recovery only squashes uops younger than the branch.  The shifting and
+circular organizations compact entry positions on release, so they keep
+the legacy full-scan loop (slots there are not stable handles).
 """
 
 from __future__ import annotations
 
 from collections import deque
+from operator import itemgetter
 from typing import Deque, Dict, List, Optional
 
 from ..branch.base import BranchPredictor
@@ -48,7 +61,9 @@ from .lsq import LoadStoreQueue
 from .rename import Renamer
 from .rob import ReorderBuffer
 from .stats import SimStats
-from .uop import Uop
+from .uop import NEVER, Uop
+
+_slot_of = itemgetter(0)
 
 
 def build_predictor(config: ProcessorConfig) -> BranchPredictor:
@@ -118,6 +133,14 @@ class Pipeline:
         self._frontend: Deque[Uop] = deque()
         self._frontend_capacity = cfg.fetch_width * (cfg.frontend_depth + 2)
         self._events: Dict[int, List[Uop]] = {}
+        # Incremental ready-set state (see the module docstring).  Entry
+        # handles are stable only in the random organizations (single or
+        # distributed); shifting/circular compact positions on release, so
+        # they fall back to the legacy full-scan issue loop.
+        self._incremental_issue = cfg.distributed_iq or cfg.iq_organization == "random"
+        self._wakeup: Dict[int, List[Uop]] = {}  # phys reg -> waiting uops
+        self._ready_now: List[Uop] = []  # ready_at <= cycle, unissued
+        self._ready_buckets: Dict[int, List[Uop]] = {}  # cycle -> uops
         self._forward_latency = 2  # store-to-load forwarding (L1-hit-like)
         self._commit_limit: Optional[int] = None
         #: Optional callback invoked with every committing uop (fidelity
@@ -225,32 +248,35 @@ class Pipeline:
 
     def _commit(self) -> None:
         cycle = self.cycle
+        rob = self.rob
+        renamer = self.renamer
+        stats = self.stats
+        limit = self._commit_limit
         for _ in range(self.config.commit_width):
-            if self._commit_limit is not None and \
-                    self.stats.committed >= self._commit_limit:
+            if limit is not None and stats.committed >= limit:
                 break
-            uop = self.rob.head()
+            uop = rob.head()
             if uop is None or not uop.completed:
                 break
-            self.rob.pop_head()
-            self.renamer.release_committed(uop)
+            rob.pop_head()
+            renamer.release_committed(uop)
             if uop.in_lsq:
                 self.lsq.remove_committed(uop)
                 if uop.inst.is_store and uop.mem_addr is not None:
                     self.hierarchy.store(cycle, uop.mem_addr)
             if uop.inst.is_conditional_branch:
-                self.stats.cond_branches += 1
+                stats.cond_branches += 1
                 if uop.mispredicted:
-                    self.stats.mispredictions += 1
+                    stats.mispredictions += 1
                 self.slice_tracker.on_branch_resolved(
                     uop.inst.pc, correct=not uop.mispredicted
                 )
-            self.stats.committed += 1
+            stats.committed += 1
             if self.commit_hook is not None:
                 self.commit_hook(uop)
             if uop.trace_seq >= 0:
                 self.cursor.release(uop.trace_seq)
-        self.mode_switch.observe(self.stats.committed, self.hierarchy.stats.l2_misses)
+        self.mode_switch.observe(stats.committed, self.hierarchy.stats.l2_misses)
 
     # ==================================================================
     # Writeback / branch resolution
@@ -309,6 +335,127 @@ class Pipeline:
     # ==================================================================
 
     def _issue(self) -> None:
+        if self._incremental_issue:
+            self._issue_incremental()
+        else:
+            self._issue_scan()
+
+    def _schedule_dispatched(self, uop: Uop) -> None:
+        """Register a freshly-dispatched uop with the ready-set machinery.
+
+        Sources with a known ready cycle contribute to ``uop.ready_at``;
+        each source whose producer has not yet issued adds a pending count
+        and a wakeup registration (duplicate source registers register --
+        and are later decremented -- once per occurrence).
+        """
+        ready_cycle = self.renamer.ready_cycle
+        ready_at = 0
+        pending = 0
+        for phys in uop.src_phys:
+            rc = ready_cycle[phys]
+            if rc == NEVER:
+                pending += 1
+                waiters = self._wakeup.get(phys)
+                if waiters is None:
+                    self._wakeup[phys] = [uop]
+                else:
+                    waiters.append(uop)
+            elif rc > ready_at:
+                ready_at = rc
+        uop.ready_at = ready_at  # partial max while sources are pending
+        uop.pending_srcs = pending
+        if pending:
+            return
+        if ready_at <= self.cycle:
+            self._ready_now.append(uop)
+        else:
+            bucket = self._ready_buckets.get(ready_at)
+            if bucket is None:
+                self._ready_buckets[ready_at] = [uop]
+            else:
+                bucket.append(uop)
+
+    def _wake_consumers(self, phys: int, when: int) -> None:
+        """A producer issued: schedule its register's waiting consumers.
+
+        ``when`` is at least ``cycle + 1`` (execution latencies are >= 1),
+        so a fully-woken consumer always lands in a future bucket, never in
+        the current cycle's already-drained one -- exactly matching the
+        scan loop, which could not have seen the value ready this cycle
+        either.  Waiters squashed since registering are dropped lazily.
+        """
+        waiters = self._wakeup.pop(phys, None)
+        if waiters is None:
+            return
+        buckets = self._ready_buckets
+        for uop in waiters:
+            if when > uop.ready_at:
+                uop.ready_at = when
+            uop.pending_srcs -= 1
+            if uop.pending_srcs == 0 and not uop.squashed:
+                bucket = buckets.get(uop.ready_at)
+                if bucket is None:
+                    buckets[uop.ready_at] = [uop]
+                else:
+                    bucket.append(uop)
+
+    def _issue_incremental(self) -> None:
+        """Issue from the incrementally-maintained ready set.
+
+        Equivalent to :meth:`_issue_scan` (validated by the golden-stats
+        tests) without touching the uops that cannot issue this cycle:
+        per-cycle work is O(ready + granted), not O(IQ occupancy).
+        """
+        cycle = self.cycle
+        ready = self._ready_now
+        bucket = self._ready_buckets.pop(cycle, None)
+        if bucket is not None:
+            ready.extend(bucket)
+        live: List[Uop] = []
+        requests = []
+        for uop in ready:
+            if uop.squashed or uop.issue_cycle >= 0:
+                continue
+            live.append(uop)
+            dep = uop.store_dep
+            if dep is not None and dep.issue_cycle < 0 and not dep.squashed:
+                continue  # stays live; retried once the store issues
+            requests.append((uop.iq_slot, uop))
+        if not requests:
+            self.select_logic.stats.cycles += 1
+            self._ready_now = live
+            return
+        # Dispatch order into the ready set is not slot order; the select
+        # logic's position priority needs ascending slots/handles (the
+        # order the scan loop produced by construction).
+        requests.sort(key=_slot_of)
+        granted = self.select_logic.select(requests)
+        iq_release = self.iq.release
+        age_matrix = self.age_matrix
+        for slot, _ in sorted(granted, reverse=True):
+            iq_release(slot)
+            if age_matrix is not None:
+                age_matrix.remove(slot)
+        renamer = self.renamer
+        events = self._events
+        for slot, uop in granted:
+            uop.issue_cycle = cycle
+            uop.iq_slot = -1
+            lat = self._execution_latency(uop)
+            done = cycle + lat
+            dest = uop.dest_phys
+            if dest >= 0:
+                renamer.set_ready(dest, done)
+                self._wake_consumers(dest, done)
+            bucket = events.get(done)
+            if bucket is None:
+                events[done] = [uop]
+            else:
+                bucket.append(uop)
+        self._ready_now = [u for u in live if u.issue_cycle < 0]
+
+    def _issue_scan(self) -> None:
+        """Legacy full-IQ scan, kept for the compacting organizations."""
         cycle = self.cycle
         renamer = self.renamer
         requests = []
@@ -368,9 +515,16 @@ class Pipeline:
         cycle = self.cycle
         earliest = cycle - cfg.frontend_depth
         pubs_on = cfg.pubs.enabled
+        frontend = self._frontend
+        rob = self.rob
+        lsq = self.lsq
+        renamer = self.renamer
+        stats = self.stats
+        age_matrix = self.age_matrix
+        incremental = self._incremental_issue
         dispatched = 0
-        while dispatched < cfg.decode_width and self._frontend:
-            uop = self._frontend[0]
+        while dispatched < cfg.decode_width and frontend:
+            uop = frontend[0]
             if uop.fetch_cycle > earliest:
                 break
             if not uop.decoded:
@@ -378,30 +532,32 @@ class Pipeline:
                 uop.decoded = True
                 if pubs_on:
                     uop.unconfident = self.slice_tracker.on_decode(uop.inst)
-            if self.rob.is_full():
-                self.stats.dispatch_stall_cycles += 1
+            if rob.is_full():
+                stats.dispatch_stall_cycles += 1
                 break
-            if uop.inst.is_mem and self.lsq.is_full():
-                self.stats.dispatch_stall_cycles += 1
+            if uop.inst.is_mem and lsq.is_full():
+                stats.dispatch_stall_cycles += 1
                 break
-            if not self.renamer.can_rename(uop):
-                self.stats.dispatch_stall_cycles += 1
+            if not renamer.can_rename(uop):
+                stats.dispatch_stall_cycles += 1
                 break
             slot = self._allocate_iq_slot(uop)
             if slot is None:
-                self.stats.dispatch_stall_cycles += 1
+                stats.dispatch_stall_cycles += 1
                 break
-            self._frontend.popleft()
-            self.renamer.rename(uop)
+            frontend.popleft()
+            renamer.rename(uop)
             if uop.mispredicted and uop.on_correct_path:
-                uop.checkpoint = self.renamer.checkpoint()
+                uop.checkpoint = renamer.checkpoint()
             uop.dispatch_cycle = cycle
             uop.iq_slot = slot
-            self.rob.append(uop)
+            rob.append(uop)
             if uop.inst.is_mem:
-                self.lsq.insert(uop)
-            if self.age_matrix is not None:
-                self.age_matrix.insert(slot)
+                lsq.insert(uop)
+            if age_matrix is not None:
+                age_matrix.insert(slot)
+            if incremental:
+                self._schedule_dispatched(uop)
             dispatched += 1
 
     def _allocate_iq_slot(self, uop: Uop) -> Optional[int]:

@@ -29,6 +29,7 @@ class Uop:
         "predicted_taken", "predicted_next_pc", "actual_taken",
         "actual_next_pc", "mispredicted", "checkpoint",
         "mem_addr", "store_dep", "in_lsq",
+        "ready_at", "pending_srcs",
     )
 
     def __init__(self, seq: int, inst: StaticInst, fetch_cycle: int,
@@ -59,6 +60,11 @@ class Uop:
         self.mem_addr: Optional[int] = None
         self.store_dep: Optional["Uop"] = None
         self.in_lsq = False
+        #: Earliest cycle every renamed source is ready (the wakeup-computed
+        #: schedule); NEVER while some producer has not issued yet.
+        self.ready_at = NEVER
+        #: Number of sources still awaiting a producer's issue.
+        self.pending_srcs = 0
 
     @property
     def issued(self) -> bool:

@@ -1,0 +1,47 @@
+"""Parallel execution and persistent result caching.
+
+The subsystem every sweep runs on: content-addressed simulation jobs
+(:mod:`repro.exec.jobs`), an on-disk result cache keyed by a canonical
+serialization of the full simulation input (:mod:`repro.exec.serialize`,
+:mod:`repro.exec.cache`), and a deduplicating process-pool executor
+(:mod:`repro.exec.executor`).
+
+Environment knobs:
+
+* ``REPRO_JOBS``      -- worker processes (default: ``os.cpu_count()``)
+* ``REPRO_CACHE_DIR`` -- cache directory (default: ``~/.cache/repro``)
+* ``REPRO_CACHE``     -- set to ``0`` to disable the persistent cache
+"""
+
+from .cache import (
+    CacheStats,
+    ResultCache,
+    cache_enabled_by_env,
+    default_cache_dir,
+)
+from .executor import SweepExecutor, default_jobs
+from .jobs import SimJob, execute_job, job_key
+from .serialize import (
+    CACHE_SCHEMA_VERSION,
+    canonical_json,
+    canonicalize,
+    config_fingerprint,
+    fingerprint,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "ResultCache",
+    "SimJob",
+    "SweepExecutor",
+    "cache_enabled_by_env",
+    "canonical_json",
+    "canonicalize",
+    "config_fingerprint",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_job",
+    "fingerprint",
+    "job_key",
+]

@@ -1,0 +1,166 @@
+"""Persistent on-disk simulation-result cache.
+
+Results live one-per-file under a cache directory (first match wins):
+
+1. an explicit ``cache_dir`` argument,
+2. the ``REPRO_CACHE_DIR`` environment variable,
+3. ``~/.cache/repro``.
+
+Each entry is a pickle of ``{"schema", "key", "result"}``; the file name is
+the job's content hash (see :mod:`repro.exec.serialize`), so lookups are a
+single ``open``.  Writes go through a temporary file + :func:`os.replace`,
+which keeps concurrent workers from ever exposing a torn entry.
+
+Robustness rules:
+
+* a corrupt or unreadable entry counts as an *invalidation* (and is
+  deleted), never an error -- the caller just re-simulates;
+* an entry recorded under a different ``CACHE_SCHEMA_VERSION`` is likewise
+  invalidated (belt and braces: the schema version is also folded into the
+  key, so such entries normally stop being addressed at all);
+* if the cache directory cannot be created or written (read-only HOME,
+  sandboxed CI), the cache degrades to a no-op rather than failing the run.
+
+Hit/miss/store/invalidation counters are kept per instance and surfaced by
+the ``repro cache stats`` CLI subcommand and the executor's summary.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from .serialize import CACHE_SCHEMA_VERSION
+
+_ENTRY_SUFFIX = ".pkl"
+
+
+def default_cache_dir() -> Path:
+    """The cache directory the environment selects."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    """Persistent caching policy: on unless ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+@dataclass
+class CacheStats:
+    """Counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def summary(self) -> str:
+        return (f"hits={self.hits} misses={self.misses} "
+                f"stores={self.stores} invalidations={self.invalidations}")
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SimulationResult`."""
+
+    def __init__(self, cache_dir: "Optional[str | os.PathLike]" = None):
+        self.directory = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.stats = CacheStats()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._writable = os.access(self.directory, os.W_OK)
+        except OSError:
+            self._writable = False
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / (key + _ENTRY_SUFFIX)
+
+    def get(self, key: str):
+        """The cached result for ``key``, or None (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+            if (not isinstance(payload, dict)
+                    or payload.get("schema") != CACHE_SCHEMA_VERSION
+                    or "result" not in payload):
+                raise ValueError("stale or malformed cache entry")
+            self.stats.hits += 1
+            return payload["result"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Corrupt, truncated, unpicklable or schema-stale entry: drop it.
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result) -> None:
+        """Store ``result`` under ``key`` (atomic, best-effort)."""
+        if not self._writable:
+            return
+        payload = {"schema": CACHE_SCHEMA_VERSION, "key": key,
+                   "result": result}
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            self.stats.stores += 1
+        except OSError:
+            pass  # disk full / permissions: caching is best-effort
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[Path]:
+        try:
+            yield from self.directory.glob("*" + _ENTRY_SUFFIX)
+        except OSError:
+            return
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,68 @@
+"""Simulation jobs: the unit of work the sweep executor schedules.
+
+A :class:`SimJob` fully describes one timing simulation -- workload profile,
+machine configuration, and instruction budget.  Jobs are immutable, picklable
+(so they can cross a process boundary into a worker), and content-addressed
+via :func:`job_key`, which is what both the deduplicator and the persistent
+cache key on.
+
+:func:`execute_job` is the single place a job turns into a result; it is a
+module-level function so :class:`concurrent.futures.ProcessPoolExecutor`
+can ship it to workers.  It deliberately reproduces
+:func:`repro.analysis.runner.run_workload`'s exact recipe (same program
+builder, same ``mem_seed``) so a job result is bit-identical to a direct
+call -- the determinism contract the parallel path is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.config import ProcessorConfig
+from ..core.simulator import SimulationResult, simulate
+from ..workloads.generator import build_program
+from ..workloads.profiles import WorkloadProfile, get_profile
+from .serialize import CACHE_SCHEMA_VERSION, fingerprint
+
+
+@dataclass(frozen=True)
+class SimJob:
+    """One (workload, config, budget) simulation request."""
+
+    profile: WorkloadProfile
+    config: ProcessorConfig
+    instructions: int
+    skip: int
+
+    @staticmethod
+    def make(workload: Union[str, WorkloadProfile],
+             config: Optional[ProcessorConfig],
+             instructions: int, skip: int) -> "SimJob":
+        """Resolve a workload name and a possibly-None config into a job."""
+        profile = get_profile(workload) if isinstance(workload, str) else workload
+        return SimJob(profile, config or ProcessorConfig.cortex_a72_like(),
+                      instructions, skip)
+
+
+def job_key(job: SimJob) -> str:
+    """Content hash identifying ``job`` (includes the cache schema version)."""
+    return fingerprint({
+        "schema": CACHE_SCHEMA_VERSION,
+        "profile": job.profile,
+        "config": job.config,
+        "instructions": job.instructions,
+        "skip": job.skip,
+    })
+
+
+def execute_job(job: SimJob) -> SimulationResult:
+    """Run one job to completion (in this process)."""
+    program = build_program(job.profile)
+    return simulate(
+        program,
+        job.config,
+        max_instructions=job.instructions,
+        skip_instructions=job.skip,
+        mem_seed=job.profile.mem_seed,
+    )

@@ -142,7 +142,9 @@ class DistributedSelectLogic:
         if self.issue_width < 1:
             raise ValueError("issue width must be positive")
         self.stats = SelectStats()
-        self._counts = self.fu_pool.as_dict()
+        # List indexed by FuClass (an IntEnum starting at 0).
+        self._fu_counts = [self.fu_pool.ialu, self.fu_pool.imult,
+                           self.fu_pool.ldst, self.fu_pool.fpu]
 
     def select(self, requests: Sequence[Tuple[Handle, object]]
                ) -> List[Tuple[Handle, object]]:
@@ -150,7 +152,7 @@ class DistributedSelectLogic:
         self.stats.requests += len(requests)
         if not requests:
             return []
-        avail = dict(self._counts)
+        avail = self._fu_counts.copy()
         granted: List[Tuple[Handle, object]] = []
         # Requests arrive grouped by class and slot-ordered (occupied()'s
         # order); a stable pass therefore implements per-queue position

@@ -25,6 +25,12 @@ from typing import Iterator, List, Optional, Tuple
 class IssueQueue:
     """Random-queue IQ with split priority/normal free lists."""
 
+    __slots__ = (
+        "size", "priority_entries", "_slots", "_free_priority",
+        "_free_normal", "_release_tick", "_tick", "_rng",
+        "dispatches", "priority_dispatches",
+    )
+
     def __init__(self, size: int, priority_entries: int = 0, seed: int = 0):
         if size < 1:
             raise ValueError("IQ size must be positive")

@@ -60,6 +60,9 @@ class SelectStats:
 class SelectLogic:
     """Position-priority arbiter, optionally augmented with an age matrix."""
 
+    __slots__ = ("issue_width", "fu_pool", "age_matrix", "stats",
+                 "_fu_counts")
+
     def __init__(self, issue_width: int, fu_pool: FuPool,
                  age_matrix: Optional[AgeMatrix] = None):
         if issue_width < 1:
@@ -68,6 +71,10 @@ class SelectLogic:
         self.fu_pool = fu_pool
         self.age_matrix = age_matrix
         self.stats = SelectStats()
+        # FuClass is an IntEnum starting at 0, so per-class availability
+        # lives in a plain list indexed by ``uop.fu``.
+        self._fu_counts = [fu_pool.ialu, fu_pool.imult,
+                           fu_pool.ldst, fu_pool.fpu]
 
     def select(self, requests: Sequence[Tuple[int, object]]) -> List[Tuple[int, object]]:
         """Grant up to ``issue_width`` of the ready requests.
@@ -78,15 +85,27 @@ class SelectLogic:
         (highest priority), then the position-based pass fills the rest --
         the arrangement of Fig. 14(b).
         """
-        self.stats.cycles += 1
-        self.stats.requests += len(requests)
+        stats = self.stats
+        stats.cycles += 1
+        stats.requests += len(requests)
         if not requests:
             return []
-        avail = self.fu_pool.as_dict()
+        avail = self._fu_counts.copy()
         granted: List[Tuple[int, object]] = []
-        granted_slots = set()
+        width = self.issue_width
 
-        if self.age_matrix is not None:
+        if self.age_matrix is None:
+            # Common case: a single priority-ordered pass; no pre-grant
+            # means no duplicate to track.
+            for slot, uop in requests:
+                fu = uop.fu
+                if avail[fu] > 0:
+                    avail[fu] = avail[fu] - 1
+                    granted.append((slot, uop))
+                    if len(granted) >= width:
+                        break
+        else:
+            granted_slots = set()
             oldest_slot = self.age_matrix.oldest([slot for slot, _ in requests])
             if oldest_slot is not None:
                 for slot, uop in requests:
@@ -95,20 +114,19 @@ class SelectLogic:
                             avail[uop.fu] -= 1
                             granted.append((slot, uop))
                             granted_slots.add(slot)
-                            self.stats.age_grants += 1
+                            stats.age_grants += 1
                         break
+            for slot, uop in requests:
+                if len(granted) >= width:
+                    break
+                if slot in granted_slots:
+                    continue
+                if avail[uop.fu] > 0:
+                    avail[uop.fu] -= 1
+                    granted.append((slot, uop))
+                    granted_slots.add(slot)
 
-        for slot, uop in requests:
-            if len(granted) >= self.issue_width:
-                break
-            if slot in granted_slots:
-                continue
-            if avail[uop.fu] > 0:
-                avail[uop.fu] -= 1
-                granted.append((slot, uop))
-                granted_slots.add(slot)
-
-        self.stats.grants += len(granted)
-        self.stats.conflict_denials += len(requests) - len(granted)
+        stats.grants += len(granted)
+        stats.conflict_denials += len(requests) - len(granted)
         granted.sort(key=lambda pair: pair[0])
         return granted

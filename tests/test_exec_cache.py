@@ -1,0 +1,136 @@
+"""Persistent result cache: keys, round trips, invalidation."""
+
+import pickle
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.exec import (
+    ResultCache, SimJob, cache_enabled_by_env, config_fingerprint,
+    default_cache_dir, execute_job, fingerprint, job_key,
+)
+
+INSTRUCTIONS = 300
+SKIP = 200
+
+
+def _job(config=None, workload="sjeng", instructions=INSTRUCTIONS):
+    return SimJob.make(workload, config, instructions, SKIP)
+
+
+class TestFingerprints:
+    def test_equal_configs_built_independently_hash_equal(self):
+        a = ProcessorConfig.cortex_a72_like().with_pubs()
+        b = ProcessorConfig.cortex_a72_like().with_pubs()
+        assert a is not b
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_any_field_change_changes_the_key(self):
+        base = ProcessorConfig.cortex_a72_like()
+        variants = [
+            base.with_pubs(),
+            base.with_age_matrix(),
+            base.with_overrides(iq_size=base.iq_size + 1),
+            base.with_overrides(distributed_iq=True),
+        ]
+        keys = {job_key(_job(cfg)) for cfg in [base] + variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_budget_and_workload_feed_the_key(self):
+        assert job_key(_job()) != job_key(_job(instructions=INSTRUCTIONS + 1))
+        assert job_key(_job()) != job_key(_job(workload="mcf"))
+
+    def test_key_is_stable_across_calls(self):
+        assert job_key(_job()) == job_key(_job())
+
+    def test_non_canonicalizable_object_is_an_error(self):
+        with pytest.raises(TypeError):
+            fingerprint(object())
+
+
+class TestResultCache:
+    def test_round_trip_preserves_result_exactly(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        result = execute_job(job)
+        cache.put(job_key(job), result)
+        assert cache.get(job_key(job)) == result
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_absent_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.invalidations == 0
+
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job_key(job), execute_job(job))
+        changed = _job(ProcessorConfig.cortex_a72_like().with_pubs())
+        assert cache.get(job_key(changed)) is None
+
+    def test_schema_bump_invalidates_stored_entries(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        key = job_key(job)
+        cache.put(key, execute_job(job))
+        # The key itself moves with the schema version...
+        monkeypatch.setattr("repro.exec.jobs.CACHE_SCHEMA_VERSION", 999)
+        assert job_key(job) != key
+        # ...and even an entry addressed by its old key is rejected.
+        monkeypatch.setattr("repro.exec.cache.CACHE_SCHEMA_VERSION", 999)
+        assert cache.get(key) is None
+        assert cache.stats.invalidations == 1
+        assert not (tmp_path / (key + ".pkl")).exists()
+
+    def test_corrupt_entry_is_invalidated_and_deleted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / ("f" * 64 + ".pkl")
+        path.write_bytes(b"not a pickle")
+        assert cache.get("f" * 64) is None
+        assert cache.stats.invalidations == 1
+        assert not path.exists()
+
+    def test_wrong_payload_shape_is_invalidated(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / ("e" * 64 + ".pkl")
+        path.write_bytes(pickle.dumps(["unexpected"]))
+        assert cache.get("e" * 64) is None
+        assert cache.stats.invalidations == 1
+
+    def test_clear_and_maintenance_views(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        job = _job()
+        cache.put(job_key(job), execute_job(job))
+        assert len(cache) == 1
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_unwritable_directory_degrades_to_noop(self, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("")
+        cache = ResultCache(blocker / "sub")  # mkdir fails: parent is a file
+        cache.put("a" * 64, 123)  # must not raise
+        assert cache.get("a" * 64) is None
+
+
+class TestEnvironmentPolicy:
+    def test_cache_dir_env_is_honoured(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+        assert default_cache_dir() == tmp_path / "alt"
+        assert ResultCache().directory == tmp_path / "alt"
+
+    def test_default_cache_dir_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().name == "repro"
+
+    def test_repro_cache_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not cache_enabled_by_env()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache_enabled_by_env()
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled_by_env()

@@ -1,0 +1,121 @@
+"""Golden-stats regression anchors for the timing model.
+
+The hot-path optimizations in ``core/pipeline.py``, ``iq/queue.py`` and
+``iq/select.py`` (slots, hoisted locals, the incremental ready set) carry a
+hard requirement: **bit-identical** behaviour.  These goldens were captured
+from the pre-optimization simulator on fixed-seed workloads covering every
+scheduling path -- the random queue with and without PUBS, the age matrix,
+the distributed IQ, and the shifting organization (which keeps the legacy
+scan-based issue loop).  Any timing-visible change to the scheduler must
+reproduce these counters exactly or consciously update them (and bump
+``repro.exec.serialize.CACHE_SCHEMA_VERSION`` alongside).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.analysis import run_workload
+
+BASE = ProcessorConfig.cortex_a72_like()
+
+CONFIGS = {
+    "sjeng_base": ("sjeng", BASE),
+    "sjeng_pubs": ("sjeng", BASE.with_pubs()),
+    "gcc_age": ("gcc", BASE.with_age_matrix()),
+    "mcf_dist_pubs": ("mcf",
+                      BASE.with_overrides(distributed_iq=True).with_pubs()),
+    "gobmk_shift": ("gobmk",
+                    BASE.with_overrides(iq_organization="shifting")),
+}
+
+INSTRUCTIONS = 3000
+SKIP = 2000
+
+#: SimStats captured from the seed (pre-optimization) simulator.
+GOLDEN_STATS = {
+    "sjeng_base": {
+        "cycles": 2883, "committed": 3000, "fetched": 7474,
+        "wrong_path_fetched": 4386, "cond_branches": 174,
+        "mispredictions": 40, "btb_misses_taken": 0,
+        "missspec_penalty_cycles": 1624, "missspec_frontend_cycles": 231,
+        "missspec_iq_wait_cycles": 1353, "missspec_execute_cycles": 40,
+        "dispatch_stall_cycles": 595, "priority_stall_cycles": 0,
+        "priority_dispatches": 0, "unconfident_dispatches": 0,
+        "iq_occupancy_sum": 51336, "llc_misses": 1, "l1d_misses": 167,
+    },
+    "sjeng_pubs": {
+        "cycles": 2659, "committed": 3000, "fetched": 4953,
+        "wrong_path_fetched": 1887, "cond_branches": 174,
+        "mispredictions": 40, "btb_misses_taken": 0,
+        "missspec_penalty_cycles": 1019, "missspec_frontend_cycles": 404,
+        "missspec_iq_wait_cycles": 575, "missspec_execute_cycles": 40,
+        "dispatch_stall_cycles": 1196, "priority_stall_cycles": 1186,
+        "priority_dispatches": 1114, "unconfident_dispatches": 2300,
+        "iq_occupancy_sum": 19916, "llc_misses": 1, "l1d_misses": 170,
+    },
+    "gcc_age": {
+        "cycles": 3108, "committed": 3000, "fetched": 6142,
+        "wrong_path_fetched": 3134, "cond_branches": 276,
+        "mispredictions": 39, "btb_misses_taken": 0,
+        "missspec_penalty_cycles": 1043, "missspec_frontend_cycles": 236,
+        "missspec_iq_wait_cycles": 768, "missspec_execute_cycles": 39,
+        "dispatch_stall_cycles": 1172, "priority_stall_cycles": 0,
+        "priority_dispatches": 0, "unconfident_dispatches": 0,
+        "iq_occupancy_sum": 60252, "llc_misses": 4, "l1d_misses": 179,
+    },
+    "mcf_dist_pubs": {
+        "cycles": 25148, "committed": 3000, "fetched": 6033,
+        "wrong_path_fetched": 2901, "cond_branches": 152,
+        "mispredictions": 42, "btb_misses_taken": 0,
+        "missspec_penalty_cycles": 13003, "missspec_frontend_cycles": 1755,
+        "missspec_iq_wait_cycles": 11205, "missspec_execute_cycles": 43,
+        "dispatch_stall_cycles": 23642, "priority_stall_cycles": 2291,
+        "priority_dispatches": 1081, "unconfident_dispatches": 3372,
+        "iq_occupancy_sum": 260198, "llc_misses": 314, "l1d_misses": 314,
+    },
+    "gobmk_shift": {
+        "cycles": 3081, "committed": 3000, "fetched": 8765,
+        "wrong_path_fetched": 5694, "cond_branches": 208,
+        "mispredictions": 58, "btb_misses_taken": 0,
+        "missspec_penalty_cycles": 1687, "missspec_frontend_cycles": 312,
+        "missspec_iq_wait_cycles": 1317, "missspec_execute_cycles": 58,
+        "dispatch_stall_cycles": 393, "priority_stall_cycles": 0,
+        "priority_dispatches": 0, "unconfident_dispatches": 0,
+        "iq_occupancy_sum": 80867, "llc_misses": 1, "l1d_misses": 180,
+    },
+}
+
+#: Derived/side-structure metrics (floats; still deterministic).
+GOLDEN_EXTRA = {
+    "sjeng_base": {"predictor_accuracy": 0.7389830508474576,
+                   "select_avg_grants": 2.0242802636142905,
+                   "iq_priority_dispatches": 0},
+    "sjeng_pubs": {"predictor_accuracy": 0.7414965986394557,
+                   "select_avg_grants": 1.27830011282437,
+                   "iq_priority_dispatches": 1114},
+    "gcc_age": {"predictor_accuracy": 0.8406113537117904,
+                "select_avg_grants": 1.3178893178893178,
+                "iq_priority_dispatches": 0},
+    "mcf_dist_pubs": {"predictor_accuracy": 0.7126436781609196,
+                      "select_avg_grants": 0.18601876888818197,
+                      "iq_priority_dispatches": 1081},
+    "gobmk_shift": {"predictor_accuracy": 0.7327586206896552,
+                    "select_avg_grants": 1.5335929892891917,
+                    "iq_priority_dispatches": 0},
+}
+
+
+@pytest.mark.parametrize("tag", sorted(CONFIGS))
+def test_stats_match_seed_golden(tag):
+    workload, config = CONFIGS[tag]
+    result = run_workload(workload, config, instructions=INSTRUCTIONS,
+                          skip=SKIP, cache=False)
+    assert dataclasses.asdict(result.stats) == GOLDEN_STATS[tag]
+    extra = GOLDEN_EXTRA[tag]
+    assert result.predictor_accuracy == pytest.approx(
+        extra["predictor_accuracy"], rel=0, abs=0)
+    assert result.select_avg_grants == pytest.approx(
+        extra["select_avg_grants"], rel=0, abs=0)
+    assert result.iq_priority_dispatches == extra["iq_priority_dispatches"]
