@@ -44,6 +44,7 @@ from .core import (
 from .exec import ResultCache, SimJob, SweepExecutor, default_jobs
 from .iq import AGE_MATRIX_IQ_DELAY_FACTOR, AgeMatrix, IssueQueue
 from .pubs import PubsConfig, SliceTracker, pubs_hardware_cost
+from .verify import InvariantViolation, OracleMismatch, PipelineVerifier
 from .workloads import WorkloadProfile, build_program, get_profile, spec2006_profiles
 
 __version__ = "1.0.0"
@@ -73,6 +74,9 @@ __all__ = [
     "PubsConfig",
     "SliceTracker",
     "pubs_hardware_cost",
+    "InvariantViolation",
+    "OracleMismatch",
+    "PipelineVerifier",
     "WorkloadProfile",
     "build_program",
     "get_profile",

@@ -35,8 +35,15 @@ class SweepSummary:
 
     @property
     def stdev(self) -> float:
+        """Sample standard deviation; NaN when undefined (n < 2).
+
+        A single-seed sweep used to report 0.0 here, which read as "zero
+        spread, perfectly tight" and made ``speedup_is_significant`` accept
+        any n=1 ratio above the threshold.  NaN states the truth: one sample
+        carries no spread information.
+        """
         if self.n < 2:
-            return 0.0
+            return math.nan
         m = self.mean
         return math.sqrt(sum((v - m) ** 2 for v in self.values) / (self.n - 1))
 
@@ -50,11 +57,12 @@ class SweepSummary:
 
     @property
     def stderr(self) -> float:
-        """Standard error of the mean."""
-        return self.stdev / math.sqrt(self.n) if self.n else 0.0
+        """Standard error of the mean; NaN when undefined (n < 2)."""
+        return self.stdev / math.sqrt(self.n) if self.n >= 2 else math.nan
 
     def __str__(self) -> str:
-        return (f"{self.mean:.3f} +/- {self.stderr:.3f} "
+        spread = "n/a" if math.isnan(self.stderr) else f"{self.stderr:.3f}"
+        return (f"{self.mean:.3f} +/- {spread} "
                 f"(n={self.n}, range {self.minimum:.3f}..{self.maximum:.3f})")
 
 
@@ -90,5 +98,12 @@ def sweep_speedup(
 def speedup_is_significant(summary: SweepSummary,
                            threshold: float = 1.0) -> bool:
     """Whether the sweep's mean speedup clears ``threshold`` by more than
-    two standard errors (a simple z-style significance check)."""
+    two standard errors (a simple z-style significance check).
+
+    A sweep of fewer than two seeds has no defined standard error and is
+    never significant (the NaN comparison below is False by IEEE semantics,
+    but the guard makes the policy explicit).
+    """
+    if summary.n < 2:
+        return False
     return summary.mean - 2 * summary.stderr > threshold

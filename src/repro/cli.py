@@ -9,6 +9,7 @@ Commands:
 * ``cost``                      -- Table III hardware cost
 * ``disasm WORKLOAD``           -- generated program listing
 * ``cache stats|clear``         -- persistent result-cache maintenance
+* ``verify [--workload W]``     -- differential-oracle + invariant check
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
 fans independent runs across worker processes, and results persist in the
@@ -26,6 +27,7 @@ from .analysis import geometric_mean, render_table, run_pair, run_workload
 from .core import ProcessorConfig
 from .exec import CACHE_SCHEMA_VERSION, ResultCache, SimJob, SweepExecutor
 from .pubs import PubsConfig, pubs_hardware_cost
+from .verify import InvariantViolation
 from .workloads import build_program, get_profile, spec2006_profiles
 
 
@@ -192,6 +194,30 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    config = _machine_from_args(args).with_verification(
+        level=args.level, interval=args.interval)
+    names = [args.workload] if args.workload else sorted(spec2006_profiles())
+    failures = 0
+    for name in names:
+        try:
+            # Always a fresh simulation: a cached result proves nothing.
+            result = run_workload(name, config, args.instructions, args.skip,
+                                  cache=False)
+        except InvariantViolation as exc:
+            failures += 1
+            print(f"FAIL {name}")
+            print("  " + exc.report().replace("\n", "\n  "))
+            continue
+        print(f"ok   {name}: {result.verified_commits} commits oracle-checked"
+              + (f", {result.invariant_sweeps} invariant sweeps"
+                 if args.level == "full" else ""))
+    total = len(names)
+    print(f"\n{total - failures}/{total} workload(s) verified at "
+          f"level={args.level}")
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_dis = sub.add_parser("disasm", help="print a workload's generated code")
     p_dis.add_argument("workload")
 
+    p_ver = sub.add_parser(
+        "verify",
+        help="run the differential oracle + invariant checks on workloads")
+    p_ver.add_argument("--workload", default=None,
+                       help="verify one workload (default: all of them)")
+    p_ver.add_argument("--level", default="full",
+                       choices=["commit-only", "full"],
+                       help="verification thoroughness (default: full)")
+    p_ver.add_argument("--interval", type=int, default=256,
+                       help="cycles between invariant sweeps at --level full")
+    p_ver.add_argument("-n", "--instructions", type=int, default=3000,
+                       help="committed instructions per workload")
+    p_ver.add_argument("--skip", type=int, default=3000,
+                       help="instructions fast-forwarded for warm-up")
+    _add_machine_args(p_ver)
+
     return parser
 
 
@@ -242,6 +284,7 @@ _COMMANDS = {
     "cost": _cmd_cost,
     "disasm": _cmd_disasm,
     "cache": _cmd_cache,
+    "verify": _cmd_verify,
 }
 
 

@@ -77,6 +77,15 @@ class ProcessorConfig:
     wrong_path_memory: str = "idle"
     pubs: PubsConfig = field(default_factory=PubsConfig.disabled)
     seed: int = 1
+    #: Runtime verification (:mod:`repro.verify`): "off" (no checking, the
+    #: default), "commit-only" (differential oracle on every commit plus the
+    #: end-of-run architectural state diff) or "full" (oracle + machine
+    #: invariant sweeps every ``verify_interval`` cycles).  Part of the
+    #: configuration hash, so verified and unverified runs never share a
+    #: cached result.
+    verify_level: str = "off"
+    #: Cycle interval between invariant sweeps at ``verify_level="full"``.
+    verify_interval: int = 256
 
     def __post_init__(self) -> None:
         for n in ("fetch_width", "decode_width", "issue_width", "commit_width",
@@ -101,6 +110,13 @@ class ProcessorConfig:
         if self.wrong_path_memory not in ("idle", "pollute"):
             raise ValueError(
                 f"unknown wrong-path memory policy: {self.wrong_path_memory}")
+        if self.verify_level == "commit":  # accepted spelling of commit-only
+            object.__setattr__(self, "verify_level", "commit-only")
+        if self.verify_level not in ("off", "commit-only", "full"):
+            raise ValueError(
+                f"unknown verification level: {self.verify_level}")
+        if self.verify_interval < 1:
+            raise ValueError("verify_interval must be positive")
 
     # ------------------------------------------------------------------
     # Named configurations
@@ -118,6 +134,14 @@ class ProcessorConfig:
     def with_age_matrix(self) -> "ProcessorConfig":
         """This machine with the age matrix added to the IQ."""
         return replace(self, use_age_matrix=True)
+
+    def with_verification(self, level: str = "full",
+                          interval: int = None) -> "ProcessorConfig":
+        """This machine with runtime verification enabled."""
+        kwargs = {"verify_level": level}
+        if interval is not None:
+            kwargs["verify_interval"] = interval
+        return replace(self, **kwargs)
 
     def with_overrides(self, **kwargs) -> "ProcessorConfig":
         return replace(self, **kwargs)

@@ -150,6 +150,16 @@ class Pipeline:
         #: (pc, fetch, dispatch, issue, complete) cycles per Fig. 1.
         self.misprediction_log: Deque[tuple] = deque(maxlen=64)
         self._last_data_addr = 1 << 30  # for wrong-path address synthesis
+        #: Runtime verification (repro.verify): a differential oracle at
+        #: every commit and, at "full" level, periodic invariant sweeps.
+        #: None when cfg.verify_level == "off" -- the unverified hot path
+        #: pays one attribute check per cycle and per commit, nothing more.
+        self.verifier = None
+        if cfg.verify_level != "off":
+            from ..verify import PipelineVerifier  # deferred: import cycle
+            self.verifier = PipelineVerifier(
+                self, cfg.verify_level, cfg.verify_interval,
+                mem_seed=mem_seed)
 
     # ==================================================================
     # Public driver
@@ -171,6 +181,8 @@ class Pipeline:
             self._warm(self.executor.step())
             self._next_trace_seq += 1
         self.cursor.release(self._next_trace_seq)
+        if self.verifier is not None:
+            self.verifier.on_skip(skip_instructions)
         self._commit_limit = self.stats.committed + max_instructions
         limit = max_cycles if max_cycles is not None else 500 * max_instructions + 100_000
         while self.stats.committed < self._commit_limit:
@@ -181,6 +193,8 @@ class Pipeline:
                     f"({self.stats.committed} committed)"
                 )
         self._finalize_stats()
+        if self.verifier is not None:
+            self.verifier.on_run_end()
         return self.stats
 
     def _prewarm_regions(self) -> None:
@@ -237,6 +251,8 @@ class Pipeline:
         self._dispatch()
         self._fetch()
         self.stats.iq_occupancy_sum += self.iq.occupancy
+        if self.verifier is not None:
+            self.verifier.on_cycle()
 
     def _finalize_stats(self) -> None:
         self.stats.llc_misses = self.hierarchy.stats.l2_misses
@@ -252,6 +268,7 @@ class Pipeline:
         renamer = self.renamer
         stats = self.stats
         limit = self._commit_limit
+        verifier = self.verifier
         for _ in range(self.config.commit_width):
             if limit is not None and stats.committed >= limit:
                 break
@@ -272,6 +289,8 @@ class Pipeline:
                     uop.inst.pc, correct=not uop.mispredicted
                 )
             stats.committed += 1
+            if verifier is not None:
+                verifier.on_commit(uop)
             if self.commit_hook is not None:
                 self.commit_hook(uop)
             if uop.trace_seq >= 0:

@@ -32,6 +32,12 @@ class SimulationResult:
     iq_priority_dispatches: int
     lsq_forwards: int
     select_avg_grants: float
+    #: Verification level the run executed under ("off" when unchecked).
+    verify_level: str = "off"
+    #: Commits cross-checked by the differential oracle (0 when unchecked).
+    verified_commits: int = 0
+    #: Invariant sweeps performed (verify_level="full" only).
+    invariant_sweeps: int = 0
 
     @property
     def ipc(self) -> float:
@@ -64,6 +70,7 @@ def simulate(
     """Run one program on one machine configuration."""
     pipeline = Pipeline(program, config, mem_seed=mem_seed)
     stats = pipeline.run(max_instructions, skip_instructions, max_cycles)
+    verifier = pipeline.verifier
     return SimulationResult(
         program_name=program.name,
         config=pipeline.config,
@@ -75,4 +82,7 @@ def simulate(
         iq_priority_dispatches=pipeline.iq.priority_dispatches,
         lsq_forwards=pipeline.lsq.forwards,
         select_avg_grants=pipeline.select_logic.stats.average_grants_per_cycle,
+        verify_level=pipeline.config.verify_level,
+        verified_commits=verifier.commits_checked if verifier else 0,
+        invariant_sweeps=verifier.invariant_sweeps if verifier else 0,
     )

@@ -31,7 +31,11 @@ from typing import Any
 #: Version of (timing model semantics x result layout) baked into every key.
 #: Bump on any change that alters simulation results or SimulationResult's
 #: shape; stale on-disk entries then simply stop being found.
-CACHE_SCHEMA_VERSION = 1
+#: v2: SimulationResult grew verification fields (verify_level,
+#: verified_commits, invariant_sweeps) and ProcessorConfig grew the
+#: verify_level/verify_interval knobs -- verified and unverified runs now
+#: hash to distinct keys by construction.
+CACHE_SCHEMA_VERSION = 2
 
 
 def canonicalize(obj: Any) -> Any:

@@ -50,6 +50,14 @@ class SparseMemory:
         self._seed = seed & _MASK64
         self._words: Dict[int, int] = {}
 
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def words(self) -> Dict[int, int]:
+        """Snapshot of every word ever written (verification/state diffing)."""
+        return dict(self._words)
+
     def read(self, addr: int) -> int:
         addr &= _ADDR_MASK
         word = self._words.get(addr)
@@ -87,6 +95,11 @@ class FunctionalExecutor:
         self.memory = SparseMemory(seed=mem_seed)
         self.pc = program.entry_pc
         self._seq = 0
+
+    @property
+    def seq(self) -> int:
+        """Dynamic sequence number of the *next* instruction to execute."""
+        return self._seq
 
     def step(self) -> DynamicOp:
         """Execute one instruction and return its trace record."""

@@ -1,0 +1,157 @@
+"""The differential architectural oracle.
+
+The timing pipeline is trace-driven: its committed stream *should* be the
+in-order architectural execution of the program.  :class:`CommitOracle`
+checks that claim from the outside.  It owns a second, completely
+independent :class:`~repro.isa.executor.FunctionalExecutor` (same program,
+same memory seed) and co-executes it one instruction per commit, comparing
+everything the pipeline recorded about the committing uop -- PC, opcode,
+branch direction and successor PC, effective memory address, misprediction
+flag -- against what in-order execution actually produces.  Sequence
+numbers are checked for gaplessness, so a dropped, duplicated or reordered
+commit is caught on the spot.
+
+At the end of a run, :meth:`finish` advances a *clone* of the oracle state
+to the main executor's position and diffs the full architectural state
+(registers, PC, every memory word ever written).  Any corruption of the
+shared functional state by the timing model -- the failure mode that turns
+into silently wrong IPC numbers -- shows up as a concrete register or word
+mismatch.  The clone keeps ``finish`` non-destructive, so a pipeline can be
+resumed (``run`` called again) after a checked run.
+"""
+
+from __future__ import annotations
+
+from ..isa.executor import FunctionalExecutor
+from ..isa.instruction import Program
+from .violations import OracleMismatch
+
+
+def clone_executor(executor: FunctionalExecutor) -> FunctionalExecutor:
+    """An independent copy of ``executor``'s architectural state."""
+    clone = FunctionalExecutor(executor.program,
+                               mem_seed=executor.memory.seed)
+    clone.regs = list(executor.regs)
+    clone.pc = executor.pc
+    clone._seq = executor.seq
+    clone.memory._words = dict(executor.memory.words())
+    return clone
+
+
+class CommitOracle:
+    """In-order co-execution cross-check of the committed stream."""
+
+    def __init__(self, program: Program, mem_seed: int = 0):
+        self.executor = FunctionalExecutor(program, mem_seed=mem_seed)
+        self.commits_checked = 0
+        self.final_state_checked = False
+
+    # ------------------------------------------------------------------
+    # Run protocol
+    # ------------------------------------------------------------------
+
+    def skip(self, count: int) -> None:
+        """Mirror the pipeline's warm-up fast-forward (untimed commits)."""
+        for _ in range(count):
+            self.executor.step()
+
+    def check_commit(self, uop, cycle: int) -> None:
+        """Verify one committing uop against the next in-order instruction."""
+        if not uop.on_correct_path:
+            raise OracleMismatch(
+                "commit-oracle", "a wrong-path uop reached commit",
+                cycle=cycle, uop=uop)
+        if uop.squashed:
+            raise OracleMismatch(
+                "commit-oracle", "a squashed uop reached commit",
+                cycle=cycle, uop=uop)
+        if not uop.completed:
+            raise OracleMismatch(
+                "commit-oracle", "an incomplete uop reached commit",
+                cycle=cycle, uop=uop)
+        expected_seq = self.executor.seq
+        if uop.trace_seq != expected_seq:
+            raise OracleMismatch(
+                "commit-oracle",
+                f"commit stream gap: expected trace_seq {expected_seq}, "
+                f"got {uop.trace_seq}",
+                cycle=cycle, uop=uop)
+        record = self.executor.step()
+        inst = uop.inst
+        if inst.pc != record.inst.pc or inst.opcode is not record.inst.opcode:
+            raise OracleMismatch(
+                "commit-oracle",
+                f"committed {inst.opcode.name}@{inst.pc:#x} but in-order "
+                f"execution is at {record.inst.opcode.name}@{record.inst.pc:#x}",
+                cycle=cycle, uop=uop,
+                snapshot={"record": record})
+        if inst.is_mem and uop.mem_addr != record.mem_addr:
+            raise OracleMismatch(
+                "commit-oracle",
+                f"memory effect mismatch at {inst.pc:#x}: pipeline address "
+                f"{uop.mem_addr!r}, architectural address {record.mem_addr!r}",
+                cycle=cycle, uop=uop, snapshot={"record": record})
+        if inst.is_conditional_branch:
+            if uop.actual_taken != record.taken:
+                raise OracleMismatch(
+                    "commit-oracle",
+                    f"branch direction mismatch at {inst.pc:#x}: pipeline "
+                    f"recorded taken={uop.actual_taken}, oracle says "
+                    f"{record.taken}",
+                    cycle=cycle, uop=uop, snapshot={"record": record})
+            if uop.actual_next_pc != record.next_pc:
+                raise OracleMismatch(
+                    "commit-oracle",
+                    f"branch successor mismatch at {inst.pc:#x}: pipeline "
+                    f"{uop.actual_next_pc:#x}, oracle {record.next_pc:#x}",
+                    cycle=cycle, uop=uop, snapshot={"record": record})
+            if uop.mispredicted != (uop.predicted_next_pc != record.next_pc):
+                raise OracleMismatch(
+                    "commit-oracle",
+                    f"misprediction flag inconsistent at {inst.pc:#x}: "
+                    f"flag={uop.mispredicted}, predicted "
+                    f"{uop.predicted_next_pc:#x} vs actual {record.next_pc:#x}",
+                    cycle=cycle, uop=uop, snapshot={"record": record})
+        self.commits_checked += 1
+
+    def finish(self, main_executor: FunctionalExecutor,
+               cycle: int = None) -> None:
+        """End-of-run differential state check against the main executor.
+
+        The main executor runs ahead of commit (the trace cursor materializes
+        in-flight records); a clone of the oracle is advanced to the same
+        sequence number and the complete architectural state is compared.
+        """
+        probe = clone_executor(self.executor)
+        if probe.seq > main_executor.seq:
+            raise OracleMismatch(
+                "commit-oracle",
+                f"oracle ran ahead of the functional executor "
+                f"({probe.seq} > {main_executor.seq})", cycle=cycle)
+        while probe.seq < main_executor.seq:
+            probe.step()
+        if probe.pc != main_executor.pc:
+            raise OracleMismatch(
+                "commit-oracle",
+                f"final PC mismatch: oracle {probe.pc:#x}, "
+                f"pipeline executor {main_executor.pc:#x}", cycle=cycle)
+        if probe.regs != main_executor.regs:
+            diffs = {f"r{i}": (a, b) for i, (a, b)
+                     in enumerate(zip(probe.regs, main_executor.regs))
+                     if a != b}
+            raise OracleMismatch(
+                "commit-oracle",
+                f"final register state mismatch in {len(diffs)} register(s)",
+                cycle=cycle, snapshot=diffs)
+        oracle_words = probe.memory.words()
+        main_words = main_executor.memory.words()
+        if oracle_words != main_words:
+            bad = {hex(a): (oracle_words.get(a), main_words.get(a))
+                   for a in set(oracle_words) ^ set(main_words)
+                   | {a for a in set(oracle_words) & set(main_words)
+                      if oracle_words[a] != main_words[a]}}
+            raise OracleMismatch(
+                "commit-oracle",
+                f"final memory state mismatch in {len(bad)} word(s)",
+                cycle=cycle, snapshot=bad)
+        self.final_state_checked = True

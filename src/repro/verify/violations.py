@@ -1,0 +1,97 @@
+"""Structured verification failures.
+
+Every check in :mod:`repro.verify` reports through
+:class:`InvariantViolation`: a named invariant, the cycle it fired on, a
+description of the micro-op involved (when one is), and a *bounded* snapshot
+of the relevant machine state.  The snapshot is size-capped on construction
+so a violation raised from a 100M-instruction run never drags the whole
+simulator state into the exception object (or a log line).
+
+:class:`OracleMismatch` specializes the same shape for differential-oracle
+disagreements, so callers can catch either the specific kind or everything
+verification-related with one ``except InvariantViolation``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+#: Per-value cap on snapshot entries (characters of ``repr``).
+SNAPSHOT_VALUE_CHARS = 400
+#: Cap on the number of snapshot entries retained.
+SNAPSHOT_MAX_KEYS = 16
+
+
+def bounded_snapshot(state: Optional[Dict[str, Any]]) -> Dict[str, str]:
+    """Render ``state`` as a size-capped ``{key: repr}`` mapping."""
+    snapshot: Dict[str, str] = {}
+    if not state:
+        return snapshot
+    for i, (key, value) in enumerate(state.items()):
+        if i >= SNAPSHOT_MAX_KEYS:
+            snapshot["..."] = f"{len(state) - SNAPSHOT_MAX_KEYS} more entries"
+            break
+        text = repr(value)
+        if len(text) > SNAPSHOT_VALUE_CHARS:
+            text = text[:SNAPSHOT_VALUE_CHARS] + "...<truncated>"
+        snapshot[str(key)] = text
+    return snapshot
+
+
+def describe_uop(uop) -> Optional[Dict[str, Any]]:
+    """A compact, self-contained description of an in-flight uop."""
+    if uop is None:
+        return None
+    return {
+        "seq": uop.seq,
+        "pc": hex(uop.inst.pc),
+        "opcode": uop.inst.opcode.name,
+        "trace_seq": uop.trace_seq,
+        "on_correct_path": uop.on_correct_path,
+        "fetch_cycle": uop.fetch_cycle,
+        "dispatch_cycle": uop.dispatch_cycle,
+        "issue_cycle": uop.issue_cycle,
+        "completed": uop.completed,
+        "squashed": uop.squashed,
+    }
+
+
+class InvariantViolation(RuntimeError):
+    """A machine-checked law of the simulator was broken.
+
+    Attributes:
+        invariant: registry name of the failed check (e.g.
+            ``"free-list-conservation"``).
+        cycle: simulation cycle the check ran on (None for checks outside a
+            running pipeline, e.g. standalone table validation).
+        uop: compact description of the involved uop, or None.
+        detail: one-line human explanation of what disagreed.
+        snapshot: bounded ``{name: repr}`` excerpt of the offending state.
+    """
+
+    def __init__(self, invariant: str, detail: str, cycle: Optional[int] = None,
+                 uop=None, snapshot: Optional[Dict[str, Any]] = None):
+        self.invariant = invariant
+        self.detail = detail
+        self.cycle = cycle
+        self.uop = describe_uop(uop)
+        self.snapshot = bounded_snapshot(snapshot)
+        where = f" @cycle {cycle}" if cycle is not None else ""
+        super().__init__(f"[{invariant}]{where} {detail}")
+
+    def report(self) -> str:
+        """Multi-line diagnostic rendering (the ``repro verify`` output)."""
+        lines = [f"invariant : {self.invariant}",
+                 f"detail    : {self.detail}"]
+        if self.cycle is not None:
+            lines.append(f"cycle     : {self.cycle}")
+        if self.uop is not None:
+            lines.append("uop       : " + ", ".join(
+                f"{k}={v}" for k, v in self.uop.items()))
+        for key, value in self.snapshot.items():
+            lines.append(f"  state[{key}] = {value}")
+        return "\n".join(lines)
+
+
+class OracleMismatch(InvariantViolation):
+    """The committed stream diverged from the in-order architectural oracle."""

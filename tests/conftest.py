@@ -1,0 +1,27 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+Property-based tests must behave identically on every CI run, so the
+default profile ("ci") derandomizes hypothesis: examples are derived from
+the test function itself, not from wall-clock entropy.  Developers hunting
+for counterexamples can opt into more and randomized examples with
+``HYPOTHESIS_PROFILE=dev pytest``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    max_examples=60,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    max_examples=200,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))

@@ -77,3 +77,36 @@ class TestCommands:
     def test_unknown_workload_raises(self):
         with pytest.raises(KeyError):
             main(["run", "wrf", "-n", "100"])
+
+
+class TestVerifyCommand:
+    def test_verify_single_workload_full(self, capsys):
+        assert main(["verify", "--workload", "sjeng", "-n", "1200",
+                     "--skip", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   sjeng: 1200 commits oracle-checked" in out
+        assert "invariant sweeps" in out
+        assert "1/1 workload(s) verified at level=full" in out
+
+    def test_verify_commit_only_level(self, capsys):
+        assert main(["verify", "--workload", "mcf", "--level", "commit-only",
+                     "-n", "800", "--skip", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   mcf: 800 commits oracle-checked" in out
+        assert "sweeps" not in out
+        assert "verified at level=commit-only" in out
+
+    def test_verify_pubs_machine(self, capsys):
+        assert main(["verify", "--workload", "sjeng", "--pubs",
+                     "-n", "1000", "--skip", "600"]) == 0
+        assert "1/1 workload(s) verified" in capsys.readouterr().out
+
+    def test_verify_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.workload is None  # all workloads
+        assert args.level == "full" and args.interval == 256
+
+    def test_verify_rejects_off_level(self):
+        # "off" would make the command vacuous; the parser refuses it.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--level", "off"])

@@ -59,6 +59,30 @@ class TestVariants:
             ProcessorConfig(recovery_penalty=-1)
 
 
+class TestVerificationKnobs:
+    def test_defaults_off(self):
+        cfg = ProcessorConfig.cortex_a72_like()
+        assert cfg.verify_level == "off"
+        assert cfg.verify_interval == 256
+
+    def test_with_verification(self):
+        cfg = ProcessorConfig.cortex_a72_like().with_verification()
+        assert cfg.verify_level == "full"
+        sparse = cfg.with_verification("commit-only", interval=512)
+        assert sparse.verify_level == "commit-only"
+        assert sparse.verify_interval == 512
+
+    def test_commit_alias_normalized(self):
+        cfg = ProcessorConfig(verify_level="commit")
+        assert cfg.verify_level == "commit-only"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig(verify_level="paranoid")
+        with pytest.raises(ValueError):
+            ProcessorConfig(verify_interval=0)
+
+
 class TestTableIv:
     def test_four_models(self):
         models = size_models()

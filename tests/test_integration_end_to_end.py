@@ -10,9 +10,13 @@ import pytest
 from repro import (
     ProcessorConfig,
     PubsConfig,
+    ResultCache,
+    SimJob,
+    SweepExecutor,
     run_pair,
     run_workload,
 )
+from repro.exec.jobs import job_key
 
 N = 6000
 SKIP = 12000
@@ -113,6 +117,47 @@ class TestVariantMachines:
         for name, cfg in size_models().items():
             r = run_workload("gcc", cfg, instructions=2000, skip=4000)
             assert r.stats.committed == 2000, name
+
+
+class TestVerifiedRuns:
+    def test_commit_only_verified_run_end_to_end(self):
+        """A full workload under the differential oracle: every commit is
+        cross-checked and the timing result is untouched."""
+        result = run_workload("sjeng", BASE.with_verification("commit-only"),
+                              instructions=2000, skip=4000, cache=False)
+        plain = run_workload("sjeng", BASE, instructions=2000, skip=4000,
+                             cache=False)
+        assert result.verify_level == "commit-only"
+        assert result.verified_commits == 2000
+        assert result.stats == plain.stats
+
+    def test_verified_and_unverified_runs_have_distinct_cache_keys(self):
+        budget = dict(instructions=500, skip=500)
+        plain = SimJob.make("sjeng", BASE, **budget)
+        checked = SimJob.make("sjeng", BASE.with_verification("commit-only"),
+                              **budget)
+        full = SimJob.make("sjeng", BASE.with_verification("full"), **budget)
+        keys = {job_key(plain), job_key(checked), job_key(full)}
+        assert len(keys) == 3
+        # The interval knob is hashed too: a sparser sweep is a weaker check.
+        sparse = SimJob.make(
+            "sjeng", BASE.with_verification("full", interval=1024), **budget)
+        assert job_key(sparse) not in keys
+
+    def test_warm_cache_keeps_runs_separate(self, tmp_path):
+        """Round-trip through the persistent cache: a verified and an
+        unverified run of the same experiment never share an entry."""
+        executor = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
+        jobs = [SimJob.make("sjeng", BASE, 500, 500),
+                SimJob.make("sjeng", BASE.with_verification("commit-only"),
+                            500, 500)]
+        cold = executor.run(jobs)
+        assert executor.simulations_run == 2  # no false sharing
+        assert [r.verified_commits for r in cold] == [0, 500]
+        warm = executor.run(jobs)
+        assert executor.simulations_run == 2  # both served from the cache
+        assert [r.verified_commits for r in warm] == [0, 500]
+        assert [r.verify_level for r in warm] == ["off", "commit-only"]
 
 
 class TestCrossConfigInvariants:

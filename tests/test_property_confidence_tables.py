@@ -1,0 +1,157 @@
+"""Property-based tests: resetting counters and the set-associative tables.
+
+Hypothesis drives the structures with random operation sequences and holds
+them to the same laws the pipeline invariants enforce
+(:func:`repro.verify.invariants.check_conf_tab` /
+:func:`check_brslice_tab`), plus behavioural properties an example-based
+test cannot cover exhaustively: saturation arithmetic for arbitrary widths
+and histories, MRU/replacement discipline under aliasing, and agreement
+with an independent reference model.  Profiles are pinned in
+``tests/conftest.py`` ("ci" derandomizes), so CI runs are reproducible.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.branch.confidence import (
+    IdealConfidenceEstimator,
+    ResettingConfidenceCounter,
+)
+from repro.pubs.tables import BrsliceTab, ConfTab
+from repro.verify import check_brslice_tab, check_conf_tab
+
+# Small geometries stress replacement and aliasing far harder than the
+# paper's 256-set defaults would at these example counts.
+SMALL_SETS = 8
+SMALL_ASSOC = 2
+SMALL_FOLD = 4
+SMALL_BITS = 3
+
+#: Word-aligned PCs in a range small enough to force set/tag collisions.
+pcs = st.integers(min_value=0, max_value=255).map(lambda n: n * 4)
+outcomes = st.lists(st.booleans(), max_size=120)
+
+
+class TestResettingCounterProperties:
+    @given(bits=st.integers(1, 10), history=outcomes)
+    def test_range_and_saturation_law_under_any_history(self, bits, history):
+        counter = ResettingConfidenceCounter(bits)
+        for correct in history:
+            counter.train(correct)
+            assert 0 <= counter.value <= counter.maximum
+            assert counter.confident == (counter.value == counter.maximum)
+
+    @given(bits=st.integers(1, 10), history=outcomes)
+    def test_value_is_the_correct_streak_capped_at_maximum(self, bits,
+                                                           history):
+        counter = ResettingConfidenceCounter(bits)
+        streak = 0
+        for correct in history:
+            counter.train(correct)
+            streak = streak + 1 if correct else 0
+            assert counter.value == min(streak, counter.maximum)
+
+    @given(bits=st.integers(1, 10))
+    def test_allocation_resets(self, bits):
+        counter = ResettingConfidenceCounter(bits)
+        counter.reset_to_correct()
+        assert counter.confident and counter.value == counter.maximum
+        counter.reset_to_incorrect()
+        assert not counter.confident and counter.value == 0
+
+    @given(bits=st.integers(1, 10), prefix=outcomes)
+    def test_one_misprediction_always_destroys_confidence(self, bits, prefix):
+        counter = ResettingConfidenceCounter(bits)
+        for correct in prefix:
+            counter.train(correct)
+        counter.train(False)
+        assert counter.value == 0 and not counter.confident
+
+
+class TestIdealEstimatorProperties:
+    @given(ops=st.lists(st.tuples(pcs, st.booleans()), max_size=120))
+    def test_matches_independent_reference_model(self, ops):
+        estimator = IdealConfidenceEstimator(counter_bits=SMALL_BITS)
+        maximum = (1 << SMALL_BITS) - 1
+        model = {}  # pc -> counter value, an independent reimplementation
+        for pc, correct in ops:
+            if pc not in model:
+                model[pc] = maximum if correct else 0
+            elif correct:
+                model[pc] = min(model[pc] + 1, maximum)
+            else:
+                model[pc] = 0
+            estimator.train(pc, correct)
+        for pc in {pc for pc, _ in ops}:
+            assert estimator.is_confident(pc) == (model[pc] == maximum)
+
+    @given(pc=pcs)
+    def test_unallocated_branch_is_confident(self, pc):
+        assert IdealConfidenceEstimator().is_confident(pc)
+
+
+class TestConfTabProperties:
+    @given(ops=st.lists(st.tuples(pcs, st.booleans()), max_size=120))
+    def test_invariants_hold_under_any_training_sequence(self, ops):
+        conf = ConfTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                       fold_width=SMALL_FOLD, counter_bits=SMALL_BITS)
+        for pc, correct in ops:
+            conf.train(pc, correct)
+            check_conf_tab(conf)  # shape, width, range, saturation flag
+            # MRU insertion: what was just trained is always resident.
+            counter = conf.counter_for_pc(pc)
+            assert counter is not None
+            assert counter.confident == conf.is_confident_pc(pc)
+
+    @given(ops=st.lists(st.tuples(pcs, st.booleans()), min_size=1,
+                        max_size=120))
+    def test_pointer_and_pc_lookups_agree(self, ops):
+        conf = ConfTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                       fold_width=SMALL_FOLD, counter_bits=SMALL_BITS)
+        for pc, correct in ops:
+            conf.train(pc, correct)
+        pc = ops[-1][0]
+        assert conf.counter_for_pointer(conf.pointer(pc)) is conf.counter_for_pc(pc)
+
+
+class TestBrsliceTabProperties:
+    @given(ops=st.lists(st.tuples(pcs, pcs), max_size=120))
+    def test_invariants_hold_under_any_link_sequence(self, ops):
+        brslice = BrsliceTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                             fold_width=SMALL_FOLD)
+        conf = ConfTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                       fold_width=SMALL_FOLD, counter_bits=SMALL_BITS)
+        for inst_pc, branch_pc in ops:
+            brslice.link(brslice.codec.pointer(inst_pc),
+                         conf.pointer(branch_pc))
+            # Geometry validity of every stored pointer, set shape, tags.
+            check_brslice_tab(brslice, conf)
+            # The link just written is immediately readable (MRU-first).
+            assert brslice.lookup(inst_pc) == conf.pointer(branch_pc)
+
+    @given(ops=st.lists(st.tuples(pcs, pcs), max_size=120), probe=pcs)
+    def test_lookups_only_return_structurally_valid_pointers(self, ops,
+                                                             probe):
+        brslice = BrsliceTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                             fold_width=SMALL_FOLD)
+        conf = ConfTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                       fold_width=SMALL_FOLD, counter_bits=SMALL_BITS)
+        for inst_pc, branch_pc in ops:
+            brslice.link(brslice.codec.pointer(inst_pc),
+                         conf.pointer(branch_pc))
+        found = brslice.lookup(probe)
+        if found is not None:
+            assert 0 <= found.index < conf.codec.num_sets
+            assert 0 <= found.tag < (1 << conf.codec.fold_width)
+
+    @given(ops=st.lists(st.tuples(pcs, pcs), max_size=120))
+    def test_associativity_is_never_exceeded(self, ops):
+        brslice = BrsliceTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                             fold_width=SMALL_FOLD)
+        conf = ConfTab(num_sets=SMALL_SETS, assoc=SMALL_ASSOC,
+                       fold_width=SMALL_FOLD, counter_bits=SMALL_BITS)
+        for inst_pc, branch_pc in ops:
+            brslice.link(brslice.codec.pointer(inst_pc),
+                         conf.pointer(branch_pc))
+        assert all(len(ways) <= SMALL_ASSOC for ways in brslice._sets)
+        assert sum(len(ways) for ways in brslice._sets) <= SMALL_SETS * SMALL_ASSOC

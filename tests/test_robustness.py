@@ -1,5 +1,7 @@
 """Tests for the seed-sweep robustness helpers."""
 
+import math
+
 import pytest
 
 from repro import ProcessorConfig
@@ -23,8 +25,16 @@ class TestSweepSummary:
         assert "n=3" in str(s)
 
     def test_single_value(self):
+        # One sample has no spread information: stdev/stderr are undefined,
+        # not zero (zero would claim a perfectly tight measurement).
         s = SweepSummary((1.5,))
-        assert s.stdev == 0.0 and s.stderr == 0.0
+        assert math.isnan(s.stdev) and math.isnan(s.stderr)
+        assert s.mean == 1.5 and s.minimum == 1.5 and s.maximum == 1.5
+        assert "n/a" in str(s) and "n=1" in str(s)
+
+    def test_single_value_never_significant(self):
+        # Even a huge n=1 "speedup" must not pass the significance test.
+        assert not speedup_is_significant(SweepSummary((5.0,)), threshold=1.0)
 
     def test_significance(self):
         tight = SweepSummary((1.10, 1.11, 1.09, 1.10))
