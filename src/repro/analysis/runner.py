@@ -72,18 +72,41 @@ def _executor_for(jobs: Optional[int], cache: "Optional[bool]"):
     return SweepExecutor(jobs=jobs, cache=cache)
 
 
+def _resolve_config(config: Optional[ProcessorConfig],
+                    frontend: Optional[str]) -> Optional[ProcessorConfig]:
+    """Fold the selected frontend mode into ``config``.
+
+    ``frontend`` wins when given; otherwise the ``REPRO_FRONTEND``
+    environment variable applies (read per call, so tests and benches can
+    flip it); otherwise the config passes through untouched.  An unknown
+    mode fails ``ProcessorConfig`` validation, not silently.
+    """
+    mode = frontend if frontend is not None \
+        else os.environ.get("REPRO_FRONTEND")
+    if not mode:
+        return config
+    cfg = config if config is not None else ProcessorConfig.cortex_a72_like()
+    if cfg.frontend_mode == mode:
+        return cfg
+    return cfg.with_frontend(mode)
+
+
 def run_workload(
     workload: "str | WorkloadProfile",
     config: Optional[ProcessorConfig] = None,
     instructions: int = DEFAULT_INSTRUCTIONS,
     skip: int = DEFAULT_SKIP,
     cache: Optional[bool] = None,
+    frontend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one named workload on one machine configuration.
 
     ``cache=None`` follows the environment policy (persistent cache on
     unless ``REPRO_CACHE=0``); ``cache=False`` forces a fresh simulation.
+    ``frontend`` overrides the config's ``frontend_mode`` ("live" /
+    "replay"); None defers to ``REPRO_FRONTEND``, then to the config.
     """
+    config = _resolve_config(config, frontend)
     job = SimJob.make(workload, config, instructions, skip)
     if cache is False:
         # Uncached fast path: no hashing, no disk.
@@ -122,13 +145,16 @@ def run_pair(
     skip: int = DEFAULT_SKIP,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
+    frontend: Optional[str] = None,
 ) -> PairedRun:
     """Run base and variant on the identical dynamic instruction stream."""
     profile = get_profile(workload) if isinstance(workload, str) else workload
     executor = _executor_for(jobs, cache)
     base, variant = executor.run([
-        SimJob(profile, base_config, instructions, skip),
-        SimJob(profile, variant_config, instructions, skip),
+        SimJob(profile, _resolve_config(base_config, frontend),
+               instructions, skip),
+        SimJob(profile, _resolve_config(variant_config, frontend),
+               instructions, skip),
     ])
     return PairedRun(profile.name, base, variant)
 
@@ -140,6 +166,7 @@ def run_suite(
     skip: int = DEFAULT_SKIP,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
+    frontend: Optional[str] = None,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run every (config, workload) pair.
 
@@ -151,7 +178,8 @@ def run_suite(
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
     profiles = [get_profile(name) for name in names]
     batch = [
-        SimJob(profile, config, instructions, skip)
+        SimJob(profile, _resolve_config(config, frontend),
+               instructions, skip)
         for config in configs.values()
         for profile in profiles
     ]

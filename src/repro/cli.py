@@ -10,16 +10,21 @@ Commands:
 * ``disasm WORKLOAD``           -- generated program listing
 * ``cache stats|clear``         -- persistent result-cache maintenance
 * ``verify [--workload W]``     -- differential-oracle + invariant check
+* ``trace record|info``         -- capture/inspect replay traces (§9)
+* ``profile WORKLOAD``          -- cProfile one run, print top hotspots
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
 fans independent runs across worker processes, and results persist in the
 on-disk cache (``REPRO_CACHE_DIR``; ``--no-cache`` or ``REPRO_CACHE=0``
-disables it).
+disables it).  ``--frontend replay`` (or ``REPRO_FRONTEND=replay``) feeds
+the timing model from recorded traces instead of live functional execution
+-- bit-identical results, much faster sweeps.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -43,6 +48,8 @@ def _machine_from_args(args) -> ProcessorConfig:
             priority_entries=args.priority_entries,
             stall_policy=not args.non_stall,
         ))
+    if getattr(args, "frontend", None):
+        cfg = cfg.with_frontend(args.frontend)
     return cfg
 
 
@@ -60,6 +67,11 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="IQ organization (Sec. III-B1)")
     parser.add_argument("--distributed", action="store_true",
                         help="distribute the IQ per FU class (Sec. III-C2)")
+    parser.add_argument("--frontend", default=None,
+                        choices=["live", "replay"],
+                        help="correct-path supply: live functional "
+                             "execution or trace replay (default: "
+                             "REPRO_FRONTEND, else live)")
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -95,8 +107,10 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     config = _machine_from_args(args)
+    # frontend=args.frontend: an explicit --frontend wins over the
+    # REPRO_FRONTEND environment fallback inside the runner.
     result = run_workload(args.workload, config, args.instructions, args.skip,
-                          cache=_cache_flag(args))
+                          cache=_cache_flag(args), frontend=args.frontend)
     print(result.summary())
     s = result.stats
     print(render_table(["metric", "value"], [
@@ -119,7 +133,8 @@ def _cmd_compare(args) -> int:
     if variant == base:  # default comparison is against PUBS
         variant = base.with_pubs()
     pair = run_pair(args.workload, base, variant, args.instructions, args.skip,
-                    jobs=args.jobs, cache=_cache_flag(args))
+                    jobs=args.jobs, cache=_cache_flag(args),
+                    frontend=args.frontend)
     b, v = pair.base.stats, pair.variant.stats
     print(render_table(["metric", "base", "variant"], [
         ["IPC", f"{b.ipc:.3f}", f"{v.ipc:.3f}"],
@@ -137,6 +152,10 @@ def _cmd_suite(args) -> int:
     variant = _machine_from_args(args)
     if variant == base:
         variant = base.with_pubs()
+    frontend = args.frontend or os.environ.get("REPRO_FRONTEND")
+    if frontend:
+        base = base.with_frontend(frontend)
+        variant = variant.with_frontend(frontend)
     names = args.workloads or sorted(spec2006_profiles())
     # One batch for the whole sweep: the executor dedupes, serves warm
     # results from the persistent cache, and fans misses over --jobs.
@@ -203,7 +222,7 @@ def _cmd_verify(args) -> int:
         try:
             # Always a fresh simulation: a cached result proves nothing.
             result = run_workload(name, config, args.instructions, args.skip,
-                                  cache=False)
+                                  cache=False, frontend=args.frontend)
         except InvariantViolation as exc:
             failures += 1
             print(f"FAIL {name}")
@@ -216,6 +235,59 @@ def _cmd_verify(args) -> int:
     print(f"\n{total - failures}/{total} workload(s) verified at "
           f"level={args.level}")
     return 1 if failures else 0
+
+
+def _trace_store_for(args):
+    from .trace.store import TraceStore
+    if args.dir:
+        return TraceStore(root=args.dir, persistent=True)
+    return TraceStore()
+
+
+def _cmd_trace(args) -> int:
+    from .trace.store import REPLAY_MARGIN
+    store = _trace_store_for(args)
+    names = [args.workload] if args.workload else sorted(spec2006_profiles())
+    rows = []
+    for name in names:
+        profile = get_profile(name)
+        program = build_program(profile)
+        if args.action == "record":
+            store.acquire(program, profile.mem_seed,
+                          args.skip + args.instructions + REPLAY_MARGIN,
+                          skip_hint=args.skip)
+        info = store.describe(program, profile.mem_seed)
+        if info is None:
+            rows.append([name, "-", "-", "-", "(no trace recorded)"])
+            continue
+        rows.append([name, str(info["records"]),
+                     f"{info['payload_bytes'] / 1024:.0f} KB",
+                     str(info["skip_checkpoint_seq"]),
+                     info["key"][:16]])
+    print(render_table(
+        ["workload", "records", "size", "skip ckpt @", "key"], rows))
+    if args.action == "record":
+        print(f"\nstore {store.root}: {store.summary()}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    import cProfile
+    import pstats
+
+    config = _machine_from_args(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    # cache=False: profiling a cache hit would measure pickle, not the
+    # simulator.
+    result = run_workload(args.workload, config, args.instructions,
+                          args.skip, cache=False, frontend=args.frontend)
+    profiler.disable()
+    print(result.summary())
+    print(f"\nTop {args.top} functions by cumulative time:")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,6 +345,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="instructions fast-forwarded for warm-up")
     _add_machine_args(p_ver)
 
+    p_tr = sub.add_parser(
+        "trace", help="record or inspect replay traces (DESIGN.md §9)")
+    p_tr.add_argument("action", choices=["record", "info"])
+    p_tr.add_argument("--workload", default=None,
+                      help="one workload (default: all of them)")
+    p_tr.add_argument("-n", "--instructions", type=int, default=10_000,
+                      help="timed instructions the trace must cover")
+    p_tr.add_argument("--skip", type=int, default=10_000,
+                      help="warm-up instructions (positions the checkpoint)")
+    p_tr.add_argument("--dir", default=None,
+                      help="trace store root (default: REPRO_CACHE_DIR "
+                           "or ~/.cache/repro)")
+
+    p_prof = sub.add_parser(
+        "profile", help="profile one simulation run with cProfile")
+    p_prof.add_argument("workload")
+    p_prof.add_argument("--top", type=int, default=25,
+                        help="number of hotspot functions to print")
+    p_prof.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"],
+                        help="pstats sort order (default: cumulative)")
+    _add_machine_args(p_prof)
+    _add_budget_args(p_prof)
+
     return parser
 
 
@@ -285,6 +381,8 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "cache": _cmd_cache,
     "verify": _cmd_verify,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
 }
 
 

@@ -75,6 +75,13 @@ class ProcessorConfig:
     #: "pollute" synthesizes near-recent-data addresses and really accesses
     #: the hierarchy, modelling wrong-path cache pollution/prefetch effects.
     wrong_path_memory: str = "idle"
+    #: Correct-path instruction supply: "live" steps a
+    #: :class:`~repro.isa.executor.FunctionalExecutor` alongside the timing
+    #: model; "replay" feeds the pipeline from a recorded trace with cached
+    #: post-warmup checkpoints (bit-identical results, much faster sweeps;
+    #: see DESIGN.md §9).  Part of the configuration hash, so the two modes
+    #: never share a cached result even though their stats are identical.
+    frontend_mode: str = "live"
     pubs: PubsConfig = field(default_factory=PubsConfig.disabled)
     seed: int = 1
     #: Runtime verification (:mod:`repro.verify`): "off" (no checking, the
@@ -110,6 +117,9 @@ class ProcessorConfig:
         if self.wrong_path_memory not in ("idle", "pollute"):
             raise ValueError(
                 f"unknown wrong-path memory policy: {self.wrong_path_memory}")
+        if self.frontend_mode not in ("live", "replay"):
+            raise ValueError(
+                f"unknown frontend mode: {self.frontend_mode}")
         if self.verify_level == "commit":  # accepted spelling of commit-only
             object.__setattr__(self, "verify_level", "commit-only")
         if self.verify_level not in ("off", "commit-only", "full"):
@@ -142,6 +152,10 @@ class ProcessorConfig:
         if interval is not None:
             kwargs["verify_interval"] = interval
         return replace(self, **kwargs)
+
+    def with_frontend(self, mode: str) -> "ProcessorConfig":
+        """This machine with the given correct-path instruction supply."""
+        return replace(self, frontend_mode=mode)
 
     def with_overrides(self, **kwargs) -> "ProcessorConfig":
         return replace(self, **kwargs)

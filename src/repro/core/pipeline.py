@@ -16,6 +16,15 @@ contention that makes issue priority matter.  Wrong-path branches never
 redirect fetch themselves and wrong-path memory ops do not touch the cache
 (standard trace-driven simplifications; see DESIGN.md).
 
+With ``config.frontend_mode == "replay"`` the live functional executor is
+replaced by a :class:`~repro.trace.replay.TraceReplayFrontEnd` over a
+recorded trace (DESIGN.md §9): correct-path records come from typed
+arrays, warmup restores cached post-skip checkpoints of the memory
+hierarchy and the predictor complex instead of re-training them, and only
+wrong-path fetch stays live (it is config-dependent, so it can never be
+part of a shared trace).  Replay is bit-identical to live execution --
+the golden-stats tests run both modes against the same expected stats.
+
 Per-cycle processing order is commit, writeback, issue, dispatch, fetch, so
 results written back in cycle ``c`` can feed an issue in cycle ``c`` only
 through the pre-scheduled ready cycles (producers set their consumers'
@@ -80,6 +89,36 @@ def build_predictor(config: ProcessorConfig) -> BranchPredictor:
     raise ValueError(f"unknown predictor kind: {p.kind}")
 
 
+def _front_warm_config(config: ProcessorConfig) -> dict:
+    """The configuration slice that shapes warmup-trained front-end state.
+
+    The predictor and BTB are shaped by ``config.predictor``; the slice
+    tracker's warm state additionally depends on the PUBS fields that size
+    its tables or gate its training -- and, because training consumes each
+    warm prediction outcome, on the predictor configuration too, which is
+    why the three are checkpointed as one component.  Fields that only
+    steer dispatch at *timing* time (priority entries, stall policy, mode
+    switching) are deliberately excluded so sweeps over them share warm
+    state.
+    """
+    p = config.pubs
+    return {
+        "predictor": config.predictor,
+        "pubs": {
+            "enabled": p.enabled,
+            "blind": p.blind,
+            "conf_counter_bits": p.conf_counter_bits,
+            "conf_sets": p.conf_sets,
+            "conf_assoc": p.conf_assoc,
+            "conf_fold_width": p.conf_fold_width,
+            "brslice_sets": p.brslice_sets,
+            "brslice_assoc": p.brslice_assoc,
+            "brslice_fold_width": p.brslice_fold_width,
+            "word_width": p.word_width,
+        },
+    }
+
+
 class DeadlockError(RuntimeError):
     """The pipeline made no commit progress for an implausible interval."""
 
@@ -88,12 +127,23 @@ class Pipeline:
     """One simulated core running one program."""
 
     def __init__(self, program: Program, config: ProcessorConfig = None,
-                 mem_seed: int = 0):
+                 mem_seed: int = 0, trace_source=None):
         self.config = config or ProcessorConfig.cortex_a72_like()
         cfg = self.config
         self.program = program
-        self.executor = FunctionalExecutor(program, mem_seed=mem_seed)
-        self.cursor = TraceCursor(self.executor)
+        self.mem_seed = mem_seed
+        #: Optional :class:`~repro.trace.store.TraceStore` override for
+        #: replay mode (tests inject a temp-dir store; None => the shared
+        #: environment-selected store).  Ignored in live mode.
+        self._trace_source = trace_source
+        if cfg.frontend_mode == "replay":
+            # No live executor: the cursor is built in run(), once the
+            # required trace length (skip + sample + margin) is known.
+            self.executor = None
+            self.cursor = None
+        else:
+            self.executor = FunctionalExecutor(program, mem_seed=mem_seed)
+            self.cursor = TraceCursor(self.executor)
         self.predictor = build_predictor(cfg)
         self.btb = BranchTargetBuffer(cfg.predictor.btb_sets, cfg.predictor.btb_assoc)
         self.hierarchy = MemoryHierarchy(cfg.memory)
@@ -176,11 +226,14 @@ class Pipeline:
         """
         if max_instructions < 1:
             raise ValueError("max_instructions must be positive")
-        self._prewarm_regions()
-        for _ in range(skip_instructions):
-            self._warm(self.executor.step())
-            self._next_trace_seq += 1
-        self.cursor.release(self._next_trace_seq)
+        if self.config.frontend_mode == "replay":
+            self._prepare_replay(max_instructions, skip_instructions)
+        else:
+            self._prewarm_regions()
+            for _ in range(skip_instructions):
+                self._warm(self.executor.step())
+                self._next_trace_seq += 1
+            self.cursor.release(self._next_trace_seq)
         if self.verifier is not None:
             self.verifier.on_skip(skip_instructions)
         self._commit_limit = self.stats.committed + max_instructions
@@ -240,6 +293,112 @@ class Pipeline:
                 self.slice_tracker.on_branch_resolved(
                     inst.pc, correct=predicted == record.taken
                 )
+
+    # ------------------------------------------------------------------
+    # Replay front end (frontend_mode == "replay")
+    # ------------------------------------------------------------------
+
+    def _prepare_replay(self, max_instructions: int,
+                        skip_instructions: int) -> None:
+        """Acquire the trace and fast-forward warmup for a replay run.
+
+        Mirrors the live skip phase exactly.  On a fresh run the trained
+        post-skip state of the memory hierarchy and of the predictor
+        complex is restored from (or recorded into) the warm-checkpoint
+        store, so a sweep trains each component once, not once per config.
+        On a resumed run (``run`` called again) warm training continues
+        from the replay position on the live structures, as in live mode.
+        """
+        from ..trace.replay import TraceReplayFrontEnd  # deferred: import cycle
+        from ..trace.store import REPLAY_MARGIN, shared_store
+        store = self._trace_source if self._trace_source is not None \
+            else shared_store()
+        fresh = (self.cycle == 0 and self.stats.committed == 0
+                 and self._next_trace_seq == 0)
+        start = 0 if fresh else self.cursor.high
+        needed = start + skip_instructions + max_instructions + REPLAY_MARGIN
+        trace = store.acquire(self.program, self.mem_seed, needed,
+                              skip_hint=skip_instructions if fresh else 0)
+        if self.cursor is None:
+            self.cursor = TraceReplayFrontEnd(trace, self.program)
+        elif trace is not self.cursor.trace:
+            self.cursor.attach(trace)
+        if fresh and skip_instructions:
+            self._restore_or_train_warm(store, trace, skip_instructions)
+            self._next_trace_seq = skip_instructions
+        else:
+            self._prewarm_regions()
+            self._warm_mem_span(trace, start, start + skip_instructions)
+            self._warm_front_span(trace, start, start + skip_instructions)
+            self._next_trace_seq += skip_instructions
+        self.cursor.release(self._next_trace_seq)
+
+    def _restore_or_train_warm(self, store, trace, skip: int) -> None:
+        """Restore warm components from checkpoints, training on a miss."""
+        cfg = self.config
+        mem_key = store.warm_key(self.program, self.mem_seed, skip, "mem",
+                                 cfg.memory)
+        warm = store.get_warm(mem_key)
+        if warm is not None:
+            (self.hierarchy,) = warm
+        else:
+            self._prewarm_regions()
+            self._warm_mem_span(trace, 0, skip)
+            store.put_warm(mem_key, (self.hierarchy,))
+        front_key = store.warm_key(self.program, self.mem_seed, skip,
+                                   "front", _front_warm_config(cfg))
+        warm = store.get_warm(front_key)
+        if warm is not None:
+            self.predictor, self.btb, self.slice_tracker = warm
+            # Geometry-equal by key; rebind so later field reads see the
+            # run's own config object, not the snapshot's.
+            self.slice_tracker.config = cfg.pubs
+        else:
+            self._warm_front_span(trace, 0, skip)
+            store.put_warm(front_key,
+                           (self.predictor, self.btb, self.slice_tracker))
+        self._last_ifetch_line = trace.pcs[skip - 1] >> 6
+
+    def _warm_mem_span(self, trace, start: int, end: int) -> None:
+        """:meth:`_warm`'s memory-hierarchy half over trace records."""
+        from ..trace.format import FLAG_MEM  # deferred: import cycle
+        pcs = trace.pcs
+        flags = trace.flags
+        mem_addrs = trace.mem_addrs
+        hierarchy = self.hierarchy
+        last_line = self._last_ifetch_line
+        for i in range(start, end):
+            pc = pcs[i]
+            line = pc >> 6
+            if line != last_line:
+                hierarchy.warm_ifetch(pc)
+                last_line = line
+            if flags[i] & FLAG_MEM:
+                hierarchy.warm_data(mem_addrs[i])
+        self._last_ifetch_line = last_line
+
+    def _warm_front_span(self, trace, start: int, end: int) -> None:
+        """:meth:`_warm`'s predictor-complex half over trace records."""
+        from ..trace.format import FLAG_COND_BRANCH, FLAG_TAKEN  # deferred
+        pcs = trace.pcs
+        flags = trace.flags
+        next_pcs = trace.next_pcs
+        predictor = self.predictor
+        btb = self.btb
+        tracker = self.slice_tracker
+        pubs_on = self.config.pubs.enabled
+        for i in range(start, end):
+            f = flags[i]
+            if f & FLAG_COND_BRANCH:
+                pc = pcs[i]
+                taken = bool(f & FLAG_TAKEN)
+                predicted = predictor.predict(pc)
+                predictor.update(pc, taken, predicted)
+                if taken:
+                    btb.install(pc, next_pcs[i])
+                if pubs_on:
+                    tracker.on_branch_resolved(pc,
+                                               correct=predicted == taken)
 
     def step(self) -> None:
         """Advance one clock cycle."""

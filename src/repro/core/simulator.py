@@ -38,6 +38,9 @@ class SimulationResult:
     verified_commits: int = 0
     #: Invariant sweeps performed (verify_level="full" only).
     invariant_sweeps: int = 0
+    #: How the correct path was supplied: "live" functional execution or
+    #: trace "replay" (bit-identical stats; recorded for provenance).
+    frontend_mode: str = "live"
 
     @property
     def ipc(self) -> float:
@@ -66,9 +69,16 @@ def simulate(
     skip_instructions: int = 0,
     mem_seed: int = 0,
     max_cycles: Optional[int] = None,
+    trace_source=None,
 ) -> SimulationResult:
-    """Run one program on one machine configuration."""
-    pipeline = Pipeline(program, config, mem_seed=mem_seed)
+    """Run one program on one machine configuration.
+
+    ``trace_source`` optionally injects a :class:`~repro.trace.store.
+    TraceStore` for ``frontend_mode="replay"`` runs (tests point it at a
+    temporary directory); None uses the shared environment-selected store.
+    """
+    pipeline = Pipeline(program, config, mem_seed=mem_seed,
+                        trace_source=trace_source)
     stats = pipeline.run(max_instructions, skip_instructions, max_cycles)
     verifier = pipeline.verifier
     return SimulationResult(
@@ -85,4 +95,5 @@ def simulate(
         verify_level=pipeline.config.verify_level,
         verified_commits=verifier.commits_checked if verifier else 0,
         invariant_sweeps=verifier.invariant_sweeps if verifier else 0,
+        frontend_mode=pipeline.config.frontend_mode,
     )

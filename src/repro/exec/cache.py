@@ -78,6 +78,19 @@ class ResultCache:
         except OSError:
             self._writable = False
 
+    @classmethod
+    def for_namespace(cls, namespace: str,
+                      root: "Optional[str | os.PathLike]" = None
+                      ) -> "ResultCache":
+        """A cache living in ``<root>/<namespace>/``.
+
+        Namespaces keep differently-shaped payloads (simulation results,
+        traces, warm checkpoints) from sharing one directory, so ``repro
+        cache clear`` and entry counting stay payload-specific.
+        """
+        base = Path(root) if root is not None else default_cache_dir()
+        return cls(base / namespace)
+
     # ------------------------------------------------------------------
     # Lookup / store
     # ------------------------------------------------------------------

@@ -12,6 +12,14 @@ can ship it to workers.  It deliberately reproduces
 :func:`repro.analysis.runner.run_workload`'s exact recipe (same program
 builder, same ``mem_seed``) so a job result is bit-identical to a direct
 call -- the determinism contract the parallel path is tested against.
+
+The key hashes the *entire* ``ProcessorConfig``, so knobs that change how
+a result is produced without changing its value -- ``verify_level``,
+``frontend_mode`` -- still produce distinct keys: a cache hit always tells
+the truth about the run's provenance.  Replay-mode jobs reach the shared
+:class:`~repro.trace.store.TraceStore` through the same ``REPRO_CACHE_DIR``
+root in every worker process, so the capture pass runs once per workload,
+not once per worker.
 """
 
 from __future__ import annotations

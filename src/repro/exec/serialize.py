@@ -35,7 +35,11 @@ from typing import Any
 #: verified_commits, invariant_sweeps) and ProcessorConfig grew the
 #: verify_level/verify_interval knobs -- verified and unverified runs now
 #: hash to distinct keys by construction.
-CACHE_SCHEMA_VERSION = 2
+#: v3: ProcessorConfig grew the frontend_mode knob (trace replay) and
+#: SimulationResult grew frontend_mode -- live and replay runs hash to
+#: distinct keys even though their stats are bit-identical, so a cache
+#: hit always tells the truth about how the result was produced.
+CACHE_SCHEMA_VERSION = 3
 
 
 def canonicalize(obj: Any) -> Any:

@@ -15,7 +15,7 @@ effectively random data without materializing gigabytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from .instruction import Program, StaticInst
 from .opcodes import Opcode
@@ -95,6 +95,24 @@ class FunctionalExecutor:
         self.memory = SparseMemory(seed=mem_seed)
         self.pc = program.entry_pc
         self._seq = 0
+
+    @classmethod
+    def from_state(cls, program: Program, mem_seed: int,
+                   regs: "Iterable[int]", pc: int, seq: int,
+                   mem_words: Dict[int, int]) -> "FunctionalExecutor":
+        """An executor resumed mid-stream from a captured state.
+
+        Execution is deterministic, so an executor restored from the state
+        after record ``seq`` produces exactly the records a fresh executor
+        would produce from that point on (this is what makes architectural
+        checkpoints and trace extension sound).
+        """
+        executor = cls(program, mem_seed=mem_seed)
+        executor.regs[:] = regs
+        executor.pc = pc
+        executor._seq = seq
+        executor.memory._words = dict(mem_words)
+        return executor
 
     @property
     def seq(self) -> int:

@@ -1,0 +1,53 @@
+"""Trace capture/replay: record the dynamic stream once, replay per config.
+
+See DESIGN.md §9.  Public surface:
+
+* :func:`~repro.trace.capture.capture_trace` /
+  :func:`~repro.trace.capture.extend_trace` -- record the committed
+  dynamic stream via one functional-execution pass;
+* :class:`~repro.trace.format.Trace` / :class:`~repro.trace.format.
+  ArchCheckpoint` and the encode/decode pair -- the versioned,
+  checksummed on-disk format;
+* :class:`~repro.trace.replay.TraceReplayFrontEnd` -- the cursor the
+  pipeline fetches correct-path records from in ``frontend_mode=
+  "replay"``;
+* :class:`~repro.trace.store.TraceStore` / :func:`~repro.trace.store.
+  shared_store` -- content-addressed persistence for traces and warm
+  microarchitectural checkpoints.
+"""
+
+from .capture import capture_trace, extend_trace
+from .format import (
+    TRACE_FORMAT_VERSION,
+    ArchCheckpoint,
+    Trace,
+    TraceFormatError,
+    decode_trace,
+    encode_trace,
+)
+from .replay import TraceExhaustedError, TraceReplayFrontEnd
+from .store import (
+    REPLAY_MARGIN,
+    TraceStore,
+    program_fingerprint,
+    reset_shared_stores,
+    shared_store,
+)
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "REPLAY_MARGIN",
+    "ArchCheckpoint",
+    "Trace",
+    "TraceFormatError",
+    "TraceExhaustedError",
+    "TraceReplayFrontEnd",
+    "TraceStore",
+    "capture_trace",
+    "decode_trace",
+    "encode_trace",
+    "extend_trace",
+    "program_fingerprint",
+    "reset_shared_stores",
+    "shared_store",
+]

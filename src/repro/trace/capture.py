@@ -1,0 +1,106 @@
+"""Trace capture: one functional execution pass per (program, mem_seed).
+
+:func:`capture_trace` steps a fresh :class:`~repro.isa.executor.
+FunctionalExecutor` for ``length`` instructions and records each
+:class:`~repro.isa.executor.DynamicOp` into the parallel arrays of
+:class:`~repro.trace.format.Trace`, snapshotting the architectural state
+after ``skip`` records and at the end.
+
+:func:`extend_trace` grows an existing trace without re-executing its
+prefix: it restores an executor from the end checkpoint and continues
+stepping.  Functional execution is deterministic, so an extended trace is
+bit-identical to a longer fresh capture (pinned by the format tests).
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from ..isa.executor import FunctionalExecutor
+from ..isa.instruction import Program
+from .format import (
+    FLAG_COND_BRANCH,
+    FLAG_MEM,
+    FLAG_TAKEN,
+    FLAG_WB,
+    ArchCheckpoint,
+    Trace,
+)
+
+
+def _record_stream(executor: FunctionalExecutor, count: int,
+                   pcs: array, flags: bytearray, next_pcs: array,
+                   mem_addrs: array, wb_values: array) -> None:
+    """Append ``count`` records of ``executor``'s stream to the arrays."""
+    regs = executor.regs
+    for _ in range(count):
+        record = executor.step()
+        inst = record.inst
+        f = 0
+        if record.taken:
+            f |= FLAG_TAKEN
+        if inst.is_conditional_branch:
+            f |= FLAG_COND_BRANCH
+        if record.mem_addr is not None:
+            f |= FLAG_MEM
+            mem_addrs.append(record.mem_addr)
+        else:
+            mem_addrs.append(0)
+        if inst.dest is not None:
+            f |= FLAG_WB
+            wb_values.append(regs[inst.dest])
+        else:
+            wb_values.append(0)
+        pcs.append(inst.pc)
+        flags.append(f)
+        next_pcs.append(record.next_pc)
+
+
+def capture_trace(program: Program, mem_seed: int, length: int,
+                  skip: int = 0) -> Trace:
+    """Functionally execute ``length`` instructions and record them.
+
+    ``skip`` positions the warmup checkpoint; it must not exceed
+    ``length``.  A ``skip`` of 0 records no warmup checkpoint.
+    """
+    if length < 1:
+        raise ValueError("trace length must be positive")
+    if not 0 <= skip <= length:
+        raise ValueError(f"skip {skip} outside trace length {length}")
+    executor = FunctionalExecutor(program, mem_seed=mem_seed)
+    pcs = array("I")
+    flags = bytearray()
+    next_pcs = array("I")
+    mem_addrs = array("Q")
+    wb_values = array("Q")
+    skip_checkpoint = None
+    _record_stream(executor, skip, pcs, flags, next_pcs, mem_addrs,
+                   wb_values)
+    if skip:
+        skip_checkpoint = ArchCheckpoint.of(executor)
+    _record_stream(executor, length - skip, pcs, flags, next_pcs,
+                   mem_addrs, wb_values)
+    return Trace(pcs, flags, next_pcs, mem_addrs, wb_values,
+                 skip_checkpoint, ArchCheckpoint.of(executor), skip,
+                 mem_seed)
+
+
+def extend_trace(trace: Trace, program: Program, length: int) -> Trace:
+    """A trace covering ``length`` records, reusing ``trace``'s prefix.
+
+    Resumes functional execution from the end checkpoint; the existing
+    arrays are copied, not mutated, so the input trace stays valid.
+    """
+    if length <= len(trace):
+        return trace
+    executor = trace.end_checkpoint.restore(program)
+    pcs = array("I", trace.pcs)
+    flags = bytearray(trace.flags)
+    next_pcs = array("I", trace.next_pcs)
+    mem_addrs = array("Q", trace.mem_addrs)
+    wb_values = array("Q", trace.wb_values)
+    _record_stream(executor, length - len(trace), pcs, flags, next_pcs,
+                   mem_addrs, wb_values)
+    return Trace(pcs, flags, next_pcs, mem_addrs, wb_values,
+                 trace.skip_checkpoint, ArchCheckpoint.of(executor),
+                 trace.captured_skip, trace.mem_seed)

@@ -1,0 +1,200 @@
+"""Compact versioned on-disk format for functional-execution traces.
+
+A trace is the committed dynamic instruction stream of one (program,
+``mem_seed``) pair, captured once by running the
+:class:`~repro.isa.executor.FunctionalExecutor` and replayed by every
+machine configuration in a sweep.  Records are stored as parallel typed
+arrays rather than per-record objects:
+
+* ``pcs``        -- ``array('I')``, the PC of record *i*;
+* ``flags``      -- one byte per record (taken / conditional-branch /
+  memory-op / has-writeback bits);
+* ``next_pcs``   -- ``array('I')``, the architectural successor PC;
+* ``mem_addrs``  -- ``array('Q')``, the effective address of loads and
+  stores (0 for non-memory records; the flag bit disambiguates);
+* ``wb_values``  -- ``array('Q')``, the register write-back value (0 for
+  records without a destination; the flag bit disambiguates).
+
+Two architectural-state checkpoints ride along: one taken after the
+capture-time ``skip`` (warmup fast-forward) and one at the end of the
+captured stream.  The end checkpoint makes a trace *extendable* -- a later
+request for more records resumes functional execution from it instead of
+re-executing from scratch -- and gives the differential oracle a reference
+state to diff replayed runs against.
+
+The serialized payload is a plain dict of primitives (arrays rendered as
+bytes) so it pickles compactly, carries ``TRACE_FORMAT_VERSION``, and is
+self-checking: a SHA-256 checksum over the record arrays detects
+truncation or corruption at decode time.  Any mismatch raises
+:class:`TraceFormatError`, which the store treats as a cache miss (clean
+re-record), never as a crash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..isa.executor import FunctionalExecutor
+from ..isa.instruction import Program
+
+#: Bump whenever the record layout or checkpoint contents change; the
+#: version is folded into every trace key *and* checked in the payload, so
+#: stale entries stop being found and, belt-and-braces, fail decode.
+TRACE_FORMAT_VERSION = 1
+
+#: Per-record flag bits.
+FLAG_TAKEN = 1  #: branch outcome (conditional branches and jumps)
+FLAG_COND_BRANCH = 2  #: the instruction is a conditional branch
+FLAG_MEM = 4  #: the record carries an effective memory address
+FLAG_WB = 8  #: the record carries a register write-back value
+
+
+class TraceFormatError(ValueError):
+    """A trace payload failed validation (version, checksum, layout)."""
+
+
+@dataclass(frozen=True)
+class ArchCheckpoint:
+    """Complete architectural state at one point of the dynamic stream."""
+
+    seq: int  #: dynamic sequence number the state corresponds to
+    pc: int
+    regs: Tuple[int, ...]
+    mem_words: Dict[int, int]  #: every memory word written so far
+    mem_seed: int
+
+    @staticmethod
+    def of(executor: FunctionalExecutor) -> "ArchCheckpoint":
+        """Snapshot ``executor``'s architectural state."""
+        return ArchCheckpoint(
+            seq=executor.seq,
+            pc=executor.pc,
+            regs=tuple(executor.regs),
+            mem_words=executor.memory.words(),
+            mem_seed=executor.memory.seed,
+        )
+
+    def restore(self, program: Program) -> FunctionalExecutor:
+        """A fresh executor resumed exactly at this checkpoint."""
+        return FunctionalExecutor.from_state(
+            program, self.mem_seed, self.regs, self.pc, self.seq,
+            self.mem_words)
+
+
+class Trace:
+    """A decoded trace: record arrays plus the two checkpoints.
+
+    The object is program-agnostic (records reference instructions by PC);
+    the replay front end binds it to a concrete :class:`Program` at use.
+    """
+
+    __slots__ = ("pcs", "flags", "next_pcs", "mem_addrs", "wb_values",
+                 "skip_checkpoint", "end_checkpoint", "captured_skip",
+                 "mem_seed")
+
+    def __init__(self, pcs: array, flags: bytearray, next_pcs: array,
+                 mem_addrs: array, wb_values: array,
+                 skip_checkpoint: Optional[ArchCheckpoint],
+                 end_checkpoint: ArchCheckpoint,
+                 captured_skip: int, mem_seed: int):
+        self.pcs = pcs
+        self.flags = flags
+        self.next_pcs = next_pcs
+        self.mem_addrs = mem_addrs
+        self.wb_values = wb_values
+        #: State after ``captured_skip`` records (None when skip was 0).
+        self.skip_checkpoint = skip_checkpoint
+        #: State after the final captured record (extension/verify anchor).
+        self.end_checkpoint = end_checkpoint
+        self.captured_skip = captured_skip
+        self.mem_seed = mem_seed
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def payload_bytes(self) -> int:
+        """Approximate in-memory size of the record arrays."""
+        return (self.pcs.itemsize * len(self.pcs)
+                + len(self.flags)
+                + self.next_pcs.itemsize * len(self.next_pcs)
+                + self.mem_addrs.itemsize * len(self.mem_addrs)
+                + self.wb_values.itemsize * len(self.wb_values))
+
+
+def _checksum(pcs: bytes, flags: bytes, next_pcs: bytes,
+              mem_addrs: bytes, wb_values: bytes) -> str:
+    h = hashlib.sha256()
+    for chunk in (pcs, flags, next_pcs, mem_addrs, wb_values):
+        h.update(len(chunk).to_bytes(8, "little"))
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def encode_trace(trace: Trace) -> dict:
+    """Render ``trace`` as a picklable, self-checking payload dict."""
+    pcs = trace.pcs.tobytes()
+    flags = bytes(trace.flags)
+    next_pcs = trace.next_pcs.tobytes()
+    mem_addrs = trace.mem_addrs.tobytes()
+    wb_values = trace.wb_values.tobytes()
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "count": len(trace),
+        "captured_skip": trace.captured_skip,
+        "mem_seed": trace.mem_seed,
+        "pcs": pcs,
+        "flags": flags,
+        "next_pcs": next_pcs,
+        "mem_addrs": mem_addrs,
+        "wb_values": wb_values,
+        "checksum": _checksum(pcs, flags, next_pcs, mem_addrs, wb_values),
+        "skip_checkpoint": trace.skip_checkpoint,
+        "end_checkpoint": trace.end_checkpoint,
+    }
+
+
+def decode_trace(payload: dict) -> Trace:
+    """Validate and decode a payload produced by :func:`encode_trace`.
+
+    Raises :class:`TraceFormatError` on any inconsistency -- unknown
+    version, checksum mismatch (truncation/corruption), or array-length
+    disagreement with the recorded count.
+    """
+    if not isinstance(payload, dict):
+        raise TraceFormatError("trace payload is not a mapping")
+    if payload.get("format") != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"trace format version {payload.get('format')!r} != "
+            f"{TRACE_FORMAT_VERSION}")
+    try:
+        count = payload["count"]
+        raw = tuple(payload[k] for k in
+                    ("pcs", "flags", "next_pcs", "mem_addrs", "wb_values"))
+        checksum = payload["checksum"]
+        skip_ckpt = payload["skip_checkpoint"]
+        end_ckpt = payload["end_checkpoint"]
+        captured_skip = payload["captured_skip"]
+        mem_seed = payload["mem_seed"]
+    except KeyError as exc:
+        raise TraceFormatError(f"trace payload lacks field {exc}") from exc
+    if _checksum(*raw) != checksum:
+        raise TraceFormatError("trace checksum mismatch (corrupt payload)")
+    pcs = array("I")
+    pcs.frombytes(raw[0])
+    next_pcs = array("I")
+    next_pcs.frombytes(raw[2])
+    mem_addrs = array("Q")
+    mem_addrs.frombytes(raw[3])
+    wb_values = array("Q")
+    wb_values.frombytes(raw[4])
+    flags = bytearray(raw[1])
+    if not (len(pcs) == len(flags) == len(next_pcs) == len(mem_addrs)
+            == len(wb_values) == count):
+        raise TraceFormatError("trace array lengths disagree with count")
+    if not isinstance(end_ckpt, ArchCheckpoint) or end_ckpt.seq != count:
+        raise TraceFormatError("trace end checkpoint out of position")
+    return Trace(pcs, flags, next_pcs, mem_addrs, wb_values,
+                 skip_ckpt, end_ckpt, captured_skip, mem_seed)

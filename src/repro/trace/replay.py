@@ -1,0 +1,113 @@
+"""The trace-replay front end: feeds the pipeline from a recorded trace.
+
+:class:`TraceReplayFrontEnd` is a drop-in replacement for
+:class:`~repro.isa.executor.TraceCursor`: the pipeline's fetch stage asks
+for correct-path records by dynamic sequence number (rewinding after
+mispredictions), and commit advances a low-water mark through
+:meth:`release`.  Instead of stepping a live functional executor, records
+are materialized on demand from the trace's typed arrays -- a list index
+and one :class:`~repro.isa.executor.DynamicOp` construction per record,
+with no architectural execution on the hot path.
+
+Wrong-path fetch is *not* served here: the pipeline keeps walking the
+static code itself, exactly as in live mode, because wrong-path behaviour
+depends on the machine configuration (predictor state, BTB contents) and
+therefore cannot be part of a config-independent trace.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..isa.executor import DynamicOp
+from ..isa.instruction import Program
+from .format import FLAG_MEM, FLAG_TAKEN, Trace
+
+
+class TraceExhaustedError(RuntimeError):
+    """The pipeline requested a record beyond the captured stream.
+
+    Should never fire when the trace was acquired through
+    :meth:`repro.trace.store.TraceStore.acquire` with the pipeline's
+    fetch-ahead margin; it exists so an undersized hand-built trace fails
+    loudly instead of silently desynchronizing the simulation.
+    """
+
+
+class TraceReplayFrontEnd:
+    """Cursor-compatible window over a recorded trace.
+
+    Mirrors :class:`~repro.isa.executor.TraceCursor` exactly: records are
+    materialized forward on demand, retained until :meth:`release`
+    advances the low-water mark (bounding memory to the in-flight window),
+    and random access below the mark is an error.
+    """
+
+    def __init__(self, trace: Trace, program: Program):
+        self._trace = trace
+        self._program = program
+        self._buffer: List[DynamicOp] = []
+        self._base = 0  # seq number of _buffer[0]
+
+    @property
+    def trace(self) -> Trace:
+        return self._trace
+
+    def attach(self, trace: Trace) -> None:
+        """Swap in an extended trace (a superset of the current one)."""
+        if len(trace) < len(self._trace):
+            raise ValueError("an attached trace must extend the current one")
+        self._trace = trace
+
+    @property
+    def high(self) -> int:
+        """Sequence number just past the highest materialized record.
+
+        The replay analogue of the live executor's position: warmup
+        resumption and end-of-run accounting both key off it.
+        """
+        return self._base + len(self._buffer)
+
+    def _materialize_next(self) -> None:
+        trace = self._trace
+        seq = self._base + len(self._buffer)
+        if seq >= len(trace):
+            raise TraceExhaustedError(
+                f"trace exhausted at record {seq} "
+                f"(captured {len(trace)}); acquire a longer trace")
+        f = trace.flags[seq]
+        pc = trace.pcs[seq]
+        mem_addr: Optional[int] = trace.mem_addrs[seq] if f & FLAG_MEM else None
+        self._buffer.append(DynamicOp(
+            seq, self._program.at(pc), bool(f & FLAG_TAKEN),
+            trace.next_pcs[seq], mem_addr))
+
+    def get(self, seq: int) -> DynamicOp:
+        """The trace record with dynamic sequence number ``seq``."""
+        if seq < self._base:
+            raise IndexError(
+                f"trace record {seq} already released (base={self._base})")
+        while seq >= self._base + len(self._buffer):
+            self._materialize_next()
+        return self._buffer[seq - self._base]
+
+    def release(self, seq: int) -> None:
+        """Discard records with sequence numbers below ``seq``.
+
+        As with the live cursor, ``seq`` may run ahead of what has been
+        materialized (the warmup fast-forward skips whole prefixes); the
+        low-water mark then simply jumps forward.
+        """
+        if seq <= self._base:
+            return
+        drop = seq - self._base
+        if drop >= len(self._buffer):
+            self._buffer.clear()
+        else:
+            del self._buffer[:drop]
+        self._base = seq
+
+    @property
+    def retained(self) -> int:
+        """Number of records currently buffered (for tests)."""
+        return len(self._buffer)

@@ -1,0 +1,221 @@
+"""Content-addressed stores for traces and warmup checkpoints.
+
+Two kinds of state let a config sweep avoid redundant per-config work:
+
+* **Traces** (:mod:`repro.trace.format`): the committed dynamic stream of
+  one (program, ``mem_seed``) pair, captured once and replayed by every
+  configuration.  Keyed by the *content* of the program (instructions,
+  warm regions) plus the memory seed and the trace format version, so
+  equal programs built independently share one capture.
+* **Warm-component checkpoints**: pickled snapshots of the
+  microarchitectural state that warmup training produces.  Warmup trains
+  two independent groups -- the memory hierarchy, and the front-end
+  predictor complex (direction predictor + BTB + PUBS slice tracker,
+  which are coupled because slice-tracker training consumes each
+  prediction outcome) -- so each group is checkpointed separately, keyed
+  by the trace, the skip length and *only the configuration fields that
+  shape its state*.  A sweep over, say, PUBS priority-entry counts then
+  restores every warm component instead of re-training any of them
+  (priority entries steer dispatch, not warmup training).
+
+Both stores persist through :class:`~repro.exec.cache.ResultCache`
+namespaces under the shared cache root (``REPRO_CACHE_DIR``), inheriting
+its robustness rules: corrupt or stale entries are invalidated and
+re-recorded, never crash, and ``REPRO_CACHE=0`` degrades to in-process
+memoization only.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from ..exec.cache import ResultCache, cache_enabled_by_env, default_cache_dir
+from ..exec.serialize import fingerprint
+from ..isa.instruction import Program
+from .capture import capture_trace, extend_trace
+from .format import TRACE_FORMAT_VERSION, Trace, TraceFormatError, decode_trace, encode_trace
+
+#: Fetch runs ahead of commit by at most the in-flight window (ROB +
+#: front-end buffer + one fetch group); captures are padded by this many
+#: records -- far beyond any Table IV machine -- and rounded up to it, so
+#: every configuration of a sweep addresses the *same* capture.
+REPLAY_MARGIN = 4096
+
+
+def program_fingerprint(program: Program, mem_seed: int) -> str:
+    """Content hash identifying ``program``'s dynamic stream."""
+    return fingerprint({
+        "kind": "trace",
+        "format": TRACE_FORMAT_VERSION,
+        "insts": list(program.insts),
+        "warm_regions": [list(r) for r in program.warm_regions],
+        "mem_seed": mem_seed,
+    })
+
+
+class TraceStore:
+    """Acquire-or-record front end over the trace and warm caches."""
+
+    def __init__(self, root: "Optional[str | os.PathLike]" = None,
+                 persistent: Optional[bool] = None):
+        if persistent is None:
+            persistent = cache_enabled_by_env()
+        self.root = root if root is not None else default_cache_dir()
+        self._traces: Optional[ResultCache] = (
+            ResultCache.for_namespace("traces", self.root) if persistent
+            else None)
+        self._warm: Optional[ResultCache] = (
+            ResultCache.for_namespace("warm", self.root) if persistent
+            else None)
+        #: In-process memos; the decoded trace is shared by every config
+        #: of a sweep, warm blobs stay pickled so each run restores fresh
+        #: (mutable) objects.
+        self._trace_memo: Dict[str, Trace] = {}
+        self._warm_memo: Dict[str, bytes] = {}
+        self.captures = 0
+        self.extensions = 0
+        self.warm_restores = 0
+        self.warm_trainings = 0
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+
+    def _load_trace(self, key: str) -> Optional[Trace]:
+        trace = self._trace_memo.get(key)
+        if trace is not None:
+            return trace
+        if self._traces is None:
+            return None
+        payload = self._traces.get(key)
+        if payload is None:
+            return None
+        try:
+            trace = decode_trace(payload)
+        except TraceFormatError:
+            # Corrupt/stale entry: drop it and let the caller re-record.
+            self._traces.stats.invalidations += 1
+            try:
+                self._traces._path(key).unlink()
+            except OSError:
+                pass
+            return None
+        self._trace_memo[key] = trace
+        return trace
+
+    def _store_trace(self, key: str, trace: Trace) -> None:
+        self._trace_memo[key] = trace
+        if self._traces is not None:
+            self._traces.put(key, encode_trace(trace))
+
+    def acquire(self, program: Program, mem_seed: int, min_records: int,
+                skip_hint: int = 0) -> Trace:
+        """The trace for ``program``, recording or extending as needed.
+
+        The returned trace covers at least ``min_records`` records
+        (rounded up to the :data:`REPLAY_MARGIN` granularity so differing
+        per-config margins still share one capture).  ``skip_hint``
+        positions the warmup checkpoint when a fresh capture is needed.
+        """
+        key = program_fingerprint(program, mem_seed)
+        needed = -(-min_records // REPLAY_MARGIN) * REPLAY_MARGIN
+        trace = self._load_trace(key)
+        if trace is not None and len(trace) >= min_records:
+            return trace
+        if trace is None:
+            trace = capture_trace(program, mem_seed, needed, skip=skip_hint)
+            self.captures += 1
+        else:
+            trace = extend_trace(trace, program, needed)
+            self.extensions += 1
+        self._store_trace(key, trace)
+        return trace
+
+    def describe(self, program: Program, mem_seed: int) -> Optional[dict]:
+        """Metadata about the stored trace, or None when absent."""
+        key = program_fingerprint(program, mem_seed)
+        trace = self._load_trace(key)
+        if trace is None:
+            return None
+        return {
+            "key": key,
+            "records": len(trace),
+            "captured_skip": trace.captured_skip,
+            "payload_bytes": trace.payload_bytes(),
+            "skip_checkpoint_seq": (trace.skip_checkpoint.seq
+                                    if trace.skip_checkpoint else None),
+            "end_checkpoint_seq": trace.end_checkpoint.seq,
+            "mem_seed": trace.mem_seed,
+        }
+
+    # ------------------------------------------------------------------
+    # Warm-component checkpoints
+    # ------------------------------------------------------------------
+
+    def warm_key(self, trace_key_program: Program, mem_seed: int, skip: int,
+                 component: str, relevant_config: Any) -> str:
+        """Content key for one warm component's post-skip state."""
+        return fingerprint({
+            "kind": "warm",
+            "trace": program_fingerprint(trace_key_program, mem_seed),
+            "skip": skip,
+            "component": component,
+            "config": relevant_config,
+        })
+
+    def get_warm(self, key: str) -> Optional[Tuple[Any, ...]]:
+        """Restore one warm component: fresh objects on every call."""
+        blob = self._warm_memo.get(key)
+        if blob is None and self._warm is not None:
+            blob = self._warm.get(key)
+            if blob is not None and not isinstance(blob, bytes):
+                blob = None  # malformed entry; treat as a miss
+            if blob is not None:
+                self._warm_memo[key] = blob
+        if blob is None:
+            return None
+        try:
+            objects = pickle.loads(blob)
+        except Exception:
+            self._warm_memo.pop(key, None)
+            return None
+        self.warm_restores += 1
+        return objects
+
+    def put_warm(self, key: str, objects: Tuple[Any, ...]) -> None:
+        """Snapshot one warm component's freshly-trained state."""
+        blob = pickle.dumps(objects, protocol=pickle.HIGHEST_PROTOCOL)
+        self._warm_memo[key] = blob
+        if self._warm is not None:
+            self._warm.put(key, blob)
+        self.warm_trainings += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        return (f"captures={self.captures} extensions={self.extensions} "
+                f"warm_restores={self.warm_restores} "
+                f"warm_trainings={self.warm_trainings}")
+
+
+#: Shared stores, one per cache root (``REPRO_CACHE_DIR`` is re-read on
+#: every resolution so tests and benches can redirect it).
+_STORES: Dict[Tuple[str, bool], TraceStore] = {}
+
+
+def shared_store() -> TraceStore:
+    """The process-wide store for the environment-selected cache root."""
+    key = (str(default_cache_dir()), cache_enabled_by_env())
+    store = _STORES.get(key)
+    if store is None:
+        store = _STORES[key] = TraceStore()
+    return store
+
+
+def reset_shared_stores() -> None:
+    """Drop all shared stores (tests/benches that redirect the root)."""
+    _STORES.clear()

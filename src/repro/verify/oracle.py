@@ -122,29 +122,49 @@ class CommitOracle:
         in-flight records); a clone of the oracle is advanced to the same
         sequence number and the complete architectural state is compared.
         """
+        self._finish_against(main_executor.seq, main_executor.pc,
+                             list(main_executor.regs),
+                             main_executor.memory.words(),
+                             "pipeline executor", cycle)
+
+    def finish_against_checkpoint(self, checkpoint, cycle: int = None) -> None:
+        """End-of-run state check for replay runs (no live executor).
+
+        ``checkpoint`` is the trace's end
+        :class:`~repro.trace.format.ArchCheckpoint`; the oracle clone is
+        advanced to its sequence number (at or past everything the
+        pipeline committed) and diffed against the recorded state, proving
+        the oracle's independent execution agrees with the capture pass.
+        """
+        self._finish_against(checkpoint.seq, checkpoint.pc,
+                             list(checkpoint.regs), dict(checkpoint.mem_words),
+                             "trace checkpoint", cycle)
+
+    def _finish_against(self, seq: int, pc: int, regs, words,
+                        what: str, cycle) -> None:
         probe = clone_executor(self.executor)
-        if probe.seq > main_executor.seq:
+        if probe.seq > seq:
             raise OracleMismatch(
                 "commit-oracle",
-                f"oracle ran ahead of the functional executor "
-                f"({probe.seq} > {main_executor.seq})", cycle=cycle)
-        while probe.seq < main_executor.seq:
+                f"oracle ran ahead of the {what} "
+                f"({probe.seq} > {seq})", cycle=cycle)
+        while probe.seq < seq:
             probe.step()
-        if probe.pc != main_executor.pc:
+        if probe.pc != pc:
             raise OracleMismatch(
                 "commit-oracle",
                 f"final PC mismatch: oracle {probe.pc:#x}, "
-                f"pipeline executor {main_executor.pc:#x}", cycle=cycle)
-        if probe.regs != main_executor.regs:
+                f"{what} {pc:#x}", cycle=cycle)
+        if probe.regs != regs:
             diffs = {f"r{i}": (a, b) for i, (a, b)
-                     in enumerate(zip(probe.regs, main_executor.regs))
+                     in enumerate(zip(probe.regs, regs))
                      if a != b}
             raise OracleMismatch(
                 "commit-oracle",
                 f"final register state mismatch in {len(diffs)} register(s)",
                 cycle=cycle, snapshot=diffs)
         oracle_words = probe.memory.words()
-        main_words = main_executor.memory.words()
+        main_words = words
         if oracle_words != main_words:
             bad = {hex(a): (oracle_words.get(a), main_words.get(a))
                    for a in set(oracle_words) ^ set(main_words)

@@ -107,11 +107,7 @@ GOLDEN_EXTRA = {
 }
 
 
-@pytest.mark.parametrize("tag", sorted(CONFIGS))
-def test_stats_match_seed_golden(tag):
-    workload, config = CONFIGS[tag]
-    result = run_workload(workload, config, instructions=INSTRUCTIONS,
-                          skip=SKIP, cache=False)
+def _check_against_golden(result, tag):
     assert dataclasses.asdict(result.stats) == GOLDEN_STATS[tag]
     extra = GOLDEN_EXTRA[tag]
     assert result.predictor_accuracy == pytest.approx(
@@ -119,3 +115,38 @@ def test_stats_match_seed_golden(tag):
     assert result.select_avg_grants == pytest.approx(
         extra["select_avg_grants"], rel=0, abs=0)
     assert result.iq_priority_dispatches == extra["iq_priority_dispatches"]
+
+
+@pytest.mark.parametrize("tag", sorted(CONFIGS))
+def test_stats_match_seed_golden(tag):
+    workload, config = CONFIGS[tag]
+    result = run_workload(workload, config, instructions=INSTRUCTIONS,
+                          skip=SKIP, cache=False)
+    _check_against_golden(result, tag)
+
+
+@pytest.fixture(scope="module")
+def trace_store(tmp_path_factory):
+    """A private trace store shared by the replay goldens (one capture
+    per workload, exercising warm-checkpoint reuse across configs)."""
+    from repro.trace.store import TraceStore
+    return TraceStore(root=tmp_path_factory.mktemp("traces"),
+                      persistent=True)
+
+
+@pytest.mark.parametrize("tag", sorted(CONFIGS))
+def test_stats_match_seed_golden_replay(tag, trace_store):
+    """Trace replay is bit-identical: the same goldens, frontend_mode
+    ``"replay"`` -- every scheduling path fed from recorded traces."""
+    from repro.core.simulator import simulate
+    from repro.workloads.generator import build_program
+    from repro.workloads.profiles import get_profile
+
+    workload, config = CONFIGS[tag]
+    profile = get_profile(workload)
+    result = simulate(
+        build_program(profile), config.with_frontend("replay"),
+        max_instructions=INSTRUCTIONS, skip_instructions=SKIP,
+        mem_seed=profile.mem_seed, trace_source=trace_store)
+    assert result.frontend_mode == "replay"
+    _check_against_golden(result, tag)

@@ -1,0 +1,208 @@
+"""Trace format: round-trip, corruption handling, extension, the store.
+
+The robustness contract mirrors the result cache's: any damaged or stale
+on-disk trace is a *miss* (clean re-record), never a crash -- a sweep must
+survive a truncated file, a schema bump, or garbage bytes without user
+intervention.
+"""
+
+import pickle
+
+import pytest
+
+from repro.exec.serialize import CACHE_SCHEMA_VERSION
+from repro.isa.executor import FunctionalExecutor
+from repro.trace import (
+    REPLAY_MARGIN,
+    Trace,
+    TraceFormatError,
+    capture_trace,
+    decode_trace,
+    encode_trace,
+    extend_trace,
+)
+from repro.trace.store import TraceStore, program_fingerprint
+from repro.workloads.generator import build_program
+from repro.workloads.profiles import get_profile
+
+PROFILE = get_profile("sjeng")
+PROGRAM = build_program(PROFILE)
+
+
+def _capture(length=1000, skip=400):
+    return capture_trace(PROGRAM, PROFILE.mem_seed, length, skip=skip)
+
+
+# ----------------------------------------------------------------------
+# Capture correctness
+# ----------------------------------------------------------------------
+
+def test_capture_matches_functional_execution():
+    trace = _capture(length=600, skip=0)
+    executor = FunctionalExecutor(PROGRAM, mem_seed=PROFILE.mem_seed)
+    for i in range(600):
+        record = executor.step()
+        assert trace.pcs[i] == record.inst.pc
+        assert trace.next_pcs[i] == record.next_pc
+        assert bool(trace.flags[i] & 1) == record.taken
+        if record.mem_addr is not None:
+            assert trace.flags[i] & 4
+            assert trace.mem_addrs[i] == record.mem_addr
+        else:
+            assert not (trace.flags[i] & 4)
+
+
+def test_capture_checkpoints_positions():
+    trace = _capture(length=1000, skip=400)
+    assert trace.skip_checkpoint.seq == 400
+    assert trace.end_checkpoint.seq == 1000
+    assert len(trace) == 1000
+    no_skip = _capture(length=100, skip=0)
+    assert no_skip.skip_checkpoint is None
+
+
+def test_capture_validates_arguments():
+    with pytest.raises(ValueError):
+        capture_trace(PROGRAM, 0, 0)
+    with pytest.raises(ValueError):
+        capture_trace(PROGRAM, 0, 10, skip=11)
+
+
+def test_checkpoint_restore_resumes_identically():
+    trace = _capture(length=500, skip=200)
+    resumed = trace.skip_checkpoint.restore(PROGRAM)
+    fresh = FunctionalExecutor(PROGRAM, mem_seed=PROFILE.mem_seed)
+    fresh.run(200)
+    for a, b in zip(resumed.run(300), fresh.run(300)):
+        assert (a.seq, a.inst.pc, a.taken, a.next_pc, a.mem_addr) \
+            == (b.seq, b.inst.pc, b.taken, b.next_pc, b.mem_addr)
+
+
+# ----------------------------------------------------------------------
+# Round-trip and validation
+# ----------------------------------------------------------------------
+
+def test_encode_decode_round_trip():
+    trace = _capture()
+    payload = pickle.loads(pickle.dumps(encode_trace(trace)))
+    loaded = decode_trace(payload)
+    assert list(loaded.pcs) == list(trace.pcs)
+    assert bytes(loaded.flags) == bytes(trace.flags)
+    assert list(loaded.next_pcs) == list(trace.next_pcs)
+    assert list(loaded.mem_addrs) == list(trace.mem_addrs)
+    assert list(loaded.wb_values) == list(trace.wb_values)
+    assert loaded.skip_checkpoint == trace.skip_checkpoint
+    assert loaded.end_checkpoint == trace.end_checkpoint
+    assert loaded.captured_skip == trace.captured_skip
+    assert loaded.mem_seed == trace.mem_seed
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda p: p.__setitem__("format", 999),          # stale schema
+    lambda p: p.__setitem__("pcs", p["pcs"][:-4]),   # truncated array
+    lambda p: p.__setitem__("checksum", "0" * 64),   # corrupted checksum
+    lambda p: p.__setitem__("count", 7),             # inconsistent count
+    lambda p: p.pop("end_checkpoint"),               # missing field
+], ids=["version", "truncated", "checksum", "count", "missing-field"])
+def test_decode_rejects_damaged_payloads(mutate):
+    payload = encode_trace(_capture())
+    mutate(payload)
+    with pytest.raises(TraceFormatError):
+        decode_trace(payload)
+
+
+def test_decode_rejects_non_mapping():
+    with pytest.raises(TraceFormatError):
+        decode_trace([1, 2, 3])
+
+
+# ----------------------------------------------------------------------
+# Extension
+# ----------------------------------------------------------------------
+
+def test_extension_is_bit_identical_to_fresh_capture():
+    short = _capture(length=700, skip=300)
+    extended = extend_trace(short, PROGRAM, 1500)
+    fresh = capture_trace(PROGRAM, PROFILE.mem_seed, 1500, skip=300)
+    assert list(extended.pcs) == list(fresh.pcs)
+    assert bytes(extended.flags) == bytes(fresh.flags)
+    assert list(extended.next_pcs) == list(fresh.next_pcs)
+    assert list(extended.mem_addrs) == list(fresh.mem_addrs)
+    assert list(extended.wb_values) == list(fresh.wb_values)
+    assert extended.end_checkpoint == fresh.end_checkpoint
+    # The input trace was not mutated.
+    assert len(short) == 700
+
+
+def test_extension_noop_when_already_long_enough():
+    trace = _capture(length=500)
+    assert extend_trace(trace, PROGRAM, 400) is trace
+
+
+# ----------------------------------------------------------------------
+# Store
+# ----------------------------------------------------------------------
+
+def test_store_acquire_rounds_and_memoizes(tmp_path):
+    store = TraceStore(root=tmp_path, persistent=True)
+    trace = store.acquire(PROGRAM, PROFILE.mem_seed, 5000, skip_hint=2000)
+    assert len(trace) == 2 * REPLAY_MARGIN  # rounded up to the margin
+    assert store.acquire(PROGRAM, PROFILE.mem_seed, 3000) is trace
+    assert store.captures == 1 and store.extensions == 0
+    longer = store.acquire(PROGRAM, PROFILE.mem_seed, 2 * REPLAY_MARGIN + 1)
+    assert len(longer) == 3 * REPLAY_MARGIN
+    assert store.extensions == 1
+
+
+def test_store_persists_across_instances(tmp_path):
+    first = TraceStore(root=tmp_path, persistent=True)
+    first.acquire(PROGRAM, PROFILE.mem_seed, 1000, skip_hint=500)
+    second = TraceStore(root=tmp_path, persistent=True)
+    trace = second.acquire(PROGRAM, PROFILE.mem_seed, 1000)
+    assert second.captures == 0  # served from disk
+    assert trace.captured_skip == 500
+
+
+def test_store_memory_only_when_not_persistent(tmp_path):
+    store = TraceStore(root=tmp_path, persistent=False)
+    store.acquire(PROGRAM, PROFILE.mem_seed, 1000)
+    assert not list(tmp_path.rglob("*.pkl"))
+    # Still memoized in-process.
+    assert store.acquire(PROGRAM, PROFILE.mem_seed, 1000) is not None
+    assert store.captures == 1
+
+
+@pytest.mark.parametrize("damage", [
+    lambda path: path.write_bytes(path.read_bytes()[:-20]),  # truncated file
+    lambda path: path.write_bytes(b"not a pickle"),          # garbage
+    lambda path: path.write_bytes(
+        pickle.dumps({"schema": CACHE_SCHEMA_VERSION, "key": "k",
+                      "result": {"format": 0}})),
+], ids=["truncated", "garbage", "stale-version"])
+def test_store_rerecords_after_damage(tmp_path, damage):
+    """A damaged on-disk trace is silently re-recorded, never a crash."""
+    store = TraceStore(root=tmp_path, persistent=True)
+    store.acquire(PROGRAM, PROFILE.mem_seed, 1000)
+    entries = list(tmp_path.rglob("*.pkl"))
+    assert len(entries) == 1
+    damage(entries[0])
+    fresh_store = TraceStore(root=tmp_path, persistent=True)
+    trace = fresh_store.acquire(PROGRAM, PROFILE.mem_seed, 1000)
+    assert fresh_store.captures == 1  # damage => clean re-record
+    assert len(trace) >= 1000
+
+
+def test_store_warm_round_trip(tmp_path):
+    store = TraceStore(root=tmp_path, persistent=True)
+    key = store.warm_key(PROGRAM, PROFILE.mem_seed, 100, "mem",
+                         {"geometry": 1})
+    assert store.get_warm(key) is None
+    store.put_warm(key, ({"state": [1, 2, 3]},))
+    restored = store.get_warm(key)
+    assert restored == ({"state": [1, 2, 3]},)
+    # Every restore yields fresh objects, never shared mutables.
+    assert store.get_warm(key)[0] is not restored[0]
+
+
+def test_program_fingerprint_sensitive_to_seed():
+    assert program_fingerprint(PROGRAM, 0) != program_fingerprint(PROGRAM, 1)
