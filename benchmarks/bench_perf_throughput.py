@@ -1,7 +1,7 @@
 """Harness throughput: parallel sweep scaling, simulator speed, trace replay.
 
 Not a paper figure -- this measures the reproduction's own performance.
-Two experiments share ``benchmarks/artifacts/perf_throughput.json``:
+Three experiments share ``benchmarks/artifacts/perf_throughput.json``:
 
 ``sweep``
     A 4-workload x 2-config sweep (cache disabled, so every job simulates)
@@ -21,6 +21,16 @@ Two experiments share ``benchmarks/artifacts/perf_throughput.json``:
     checkpoints once, and restores them for the other three configs.
     End-to-end replay must be at least 1.5x faster -- this is the CI
     perf-regression gate -- and bit-identical (asserted per run).
+
+``sampling``
+    SimPoint-style sampled simulation vs the full run it estimates, on
+    the three smallest bench workloads.  Both legs replay the same
+    pre-captured trace, so the comparison is equal-coverage wall time:
+    the sampled leg must land within ``CPI_ERROR_GATE`` (3%) of the
+    full-run CPI on every workload while simulating at most 1/3 of the
+    timed records, and the aggregate serial speedup must be >= 3x.
+    Also records the per-PC static-decode memo's lookup-throughput
+    delta over ``Program.at`` (the replay front end's hot path).
 """
 
 import dataclasses
@@ -35,7 +45,15 @@ from repro import ProcessorConfig
 from repro.analysis import render_table
 from repro.core.simulator import simulate
 from repro.exec import SimJob, SweepExecutor
+from repro.sampling import (
+    CPI_ERROR_GATE,
+    DEFAULT_MAX_FRACTION,
+    sample_workload,
+    sampled_vs_full_error,
+)
 from repro.trace import TraceStore
+from repro.trace.replay import INST_BYTES, static_decode_table
+from repro.trace.store import REPLAY_MARGIN
 from repro.workloads.generator import build_program
 from repro.workloads.profiles import get_profile
 
@@ -52,6 +70,15 @@ FRONTEND_SKIP = int(os.environ.get("REPRO_BENCH_FRONTEND_SKIP", "40000"))
 #: Replay end-to-end (capture + warm + timed) must beat live by this much.
 FRONTEND_MIN_SPEEDUP = 1.5
 
+#: Sampling comparison: the three smallest static programs in the bench
+#: set, at a span long enough for the per-window variance to matter.
+SAMPLING_WORKLOADS = ["mcf", "sjeng", "gcc"]
+SAMPLING_INSTRUCTIONS = int(
+    os.environ.get("REPRO_BENCH_SAMPLING_INSTRUCTIONS", "60000"))
+SAMPLING_SKIP = int(os.environ.get("REPRO_BENCH_SAMPLING_SKIP", "2000"))
+#: Sampled leg must beat the full run by this much, aggregated serially.
+SAMPLING_MIN_SPEEDUP = 3.0
+
 
 def _update_artifact(section, payload):
     """Merge ``payload`` under ``section`` in the shared artifact file."""
@@ -64,7 +91,8 @@ def _update_artifact(section, payload):
             data = {}
     # Drop anything that is not a current section (e.g. the pre-section
     # flat layout) so the artifact never accumulates stale keys.
-    data = {k: v for k, v in data.items() if k in ("sweep", "frontend")}
+    data = {k: v for k, v in data.items()
+            if k in ("sweep", "frontend", "sampling")}
     data[section] = payload
     ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
 
@@ -224,3 +252,118 @@ def test_frontend_replay_speedup(report):
     assert speedup >= FRONTEND_MIN_SPEEDUP, \
         f"replay sweep must run >= {FRONTEND_MIN_SPEEDUP}x faster than " \
         f"live end to end, measured {speedup:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# Sampled simulation vs full run
+# ----------------------------------------------------------------------
+
+def _decode_throughput(program, trace):
+    """Lookups/second decoding every trace PC, memoized vs ``Program.at``."""
+    pcs = trace.pcs
+    table = static_decode_table(program)
+
+    start = time.perf_counter()
+    for pc in pcs:
+        program.at(pc)
+    at_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for pc in pcs:
+        table[pc // INST_BYTES]
+    table_elapsed = time.perf_counter() - start
+
+    return {
+        "lookups": len(pcs),
+        "program_at_per_second": len(pcs) / at_elapsed if at_elapsed else 0.0,
+        "decode_table_per_second":
+            len(pcs) / table_elapsed if table_elapsed else 0.0,
+        "speedup": at_elapsed / table_elapsed if table_elapsed else 0.0,
+    }
+
+
+def test_sampling_accuracy_speedup(report):
+    cfg = ProcessorConfig.cortex_a72_like()
+    store = TraceStore(persistent=False)
+    records = SAMPLING_SKIP + SAMPLING_INSTRUCTIONS + REPLAY_MARGIN
+
+    rows = []
+    per_workload = {}
+    full_wall = sampled_wall = 0.0
+    decode = None
+    for workload in SAMPLING_WORKLOADS:
+        profile = get_profile(workload)
+        program = build_program(profile)
+        # Both legs replay the same trace, so capture is excluded from
+        # the timing: the gate is equal-coverage wall time.
+        trace = store.acquire(program, profile.mem_seed, records)
+        if decode is None:
+            decode = _decode_throughput(program, trace)
+
+        start = time.perf_counter()
+        full = simulate(program, cfg.with_frontend("replay"),
+                        max_instructions=SAMPLING_INSTRUCTIONS,
+                        skip_instructions=SAMPLING_SKIP,
+                        mem_seed=profile.mem_seed, trace_source=store)
+        full_elapsed = time.perf_counter() - start
+
+        start = time.perf_counter()
+        sampled = sample_workload(workload, cfg,
+                                  instructions=SAMPLING_INSTRUCTIONS,
+                                  skip=SAMPLING_SKIP,
+                                  jobs=1, cache=False, store=store)
+        sampled_elapsed = time.perf_counter() - start
+
+        error = sampled_vs_full_error(sampled, full)
+        full_cpi = full.stats.cycles / full.stats.committed
+        full_wall += full_elapsed
+        sampled_wall += sampled_elapsed
+        per_workload[workload] = {
+            "full_cpi": full_cpi,
+            "sampled_cpi": sampled.cpi.point,
+            "error": error,
+            "regions": len(sampled.plan.regions),
+            "coverage": sampled.coverage,
+            "full_wall_seconds": full_elapsed,
+            "sampled_wall_seconds": sampled_elapsed,
+            "speedup": full_elapsed / sampled_elapsed
+            if sampled_elapsed else 0.0,
+        }
+        rows.append([workload, f"{full_cpi:.4f}", f"{sampled.cpi.point:.4f}",
+                     f"{error:.2%}", str(len(sampled.plan.regions)),
+                     f"{sampled.coverage:.1%}",
+                     f"{per_workload[workload]['speedup']:.2f}x"])
+        assert error <= CPI_ERROR_GATE, \
+            f"{workload}: sampled CPI off by {error:.2%} " \
+            f"(gate {CPI_ERROR_GATE:.0%})"
+        assert sampled.coverage <= DEFAULT_MAX_FRACTION + 1e-9, \
+            f"{workload}: simulated {sampled.coverage:.1%} of the span, " \
+            f"over the {DEFAULT_MAX_FRACTION:.1%} budget"
+
+    speedup = full_wall / sampled_wall if sampled_wall else 0.0
+    artifact = {
+        "workloads": SAMPLING_WORKLOADS,
+        "instructions": SAMPLING_INSTRUCTIONS,
+        "skip": SAMPLING_SKIP,
+        "error_gate": CPI_ERROR_GATE,
+        "max_fraction": DEFAULT_MAX_FRACTION,
+        "per_workload": per_workload,
+        "full_wall_seconds": full_wall,
+        "sampled_wall_seconds": sampled_wall,
+        "speedup": speedup,
+        "min_speedup": SAMPLING_MIN_SPEEDUP,
+        "decode_memo": decode,
+    }
+    _update_artifact("sampling", artifact)
+
+    rows.append(["aggregate", "", "", "", "", "",
+                 f"{speedup:.2f}x (gate: {SAMPLING_MIN_SPEEDUP}x)"])
+    rows.append(["decode memo", "", "", "", "", "",
+                 f"{decode['speedup']:.1f}x vs Program.at"])
+    report(f"Sampled vs full simulation (artifact: {ARTIFACT.name})",
+           render_table(["workload", "full CPI", "sampled CPI", "error",
+                         "regions", "coverage", "speedup"], rows))
+
+    assert speedup >= SAMPLING_MIN_SPEEDUP, \
+        f"sampling must run >= {SAMPLING_MIN_SPEEDUP}x faster than the " \
+        f"full runs in aggregate, measured {speedup:.2f}x"

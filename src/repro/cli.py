@@ -11,6 +11,7 @@ Commands:
 * ``cache stats|clear``         -- persistent result-cache maintenance
 * ``verify [--workload W]``     -- differential-oracle + invariant check
 * ``trace record|info``         -- capture/inspect replay traces (§9)
+* ``sample [WORKLOADS]``        -- SimPoint-style sampled CPI estimate (§10)
 * ``profile WORKLOAD``          -- cProfile one run, print top hotspots
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
@@ -48,8 +49,10 @@ def _machine_from_args(args) -> ProcessorConfig:
             priority_entries=args.priority_entries,
             stall_policy=not args.non_stall,
         ))
-    if getattr(args, "frontend", None):
-        cfg = cfg.with_frontend(args.frontend)
+    # Machine knobs only: --frontend is applied by each command (via the
+    # runner's frontend= parameter or an explicit with_frontend) so that
+    # compare/suite's "no machine flags -> default to PUBS" equality check
+    # is not defeated by a frontend-only difference.
     return cfg
 
 
@@ -255,20 +258,65 @@ def _cmd_trace(args) -> int:
         if args.action == "record":
             store.acquire(program, profile.mem_seed,
                           args.skip + args.instructions + REPLAY_MARGIN,
-                          skip_hint=args.skip)
+                          skip_hint=args.skip,
+                          checkpoint_interval=args.interval)
         info = store.describe(program, profile.mem_seed)
         if info is None:
-            rows.append([name, "-", "-", "-", "(no trace recorded)"])
+            rows.append([name, "-", "-", "-", "-", "-",
+                         "(no trace recorded)"])
             continue
         rows.append([name, str(info["records"]),
                      f"{info['payload_bytes'] / 1024:.0f} KB",
                      str(info["skip_checkpoint_seq"]),
+                     str(info["checkpoint_interval"]),
+                     str(len(info["interval_checkpoint_seqs"])),
                      info["key"][:16]])
     print(render_table(
-        ["workload", "records", "size", "skip ckpt @", "key"], rows))
+        ["workload", "records", "size", "skip ckpt @", "ckpt every",
+         "interval ckpts", "key"], rows))
     if args.action == "record":
         print(f"\nstore {store.root}: {store.summary()}")
     return 0
+
+
+def _cmd_sample(args) -> int:
+    from .sampling import CPI_ERROR_GATE, sample_workload, \
+        sampled_vs_full_error
+    config = _machine_from_args(args)
+    names = args.workloads or sorted(spec2006_profiles())
+    rows = []
+    failures = 0
+    for name in names:
+        run = sample_workload(
+            name, config,
+            instructions=args.instructions, skip=args.skip,
+            strategy=args.strategy, measure=args.measure,
+            warmup=args.warmup, detail=args.detail, regions=args.regions,
+            max_fraction=args.fraction,
+            checkpoint_interval=args.interval,
+            jobs=args.jobs, cache=_cache_flag(args))
+        row = [name, f"{run.cpi.point:.4f}", f"{run.cpi.stderr:.4f}",
+               str(len(run.results)), f"{run.coverage:.1%}",
+               f"{run.misspec_penalty.point:.1f}"]
+        if args.check_full:
+            full = run_workload(name, config, args.instructions, args.skip,
+                                cache=_cache_flag(args), frontend="replay")
+            error = sampled_vs_full_error(run, full)
+            ok = error <= CPI_ERROR_GATE
+            failures += not ok
+            row += [f"{full.stats.cycles / full.stats.committed:.4f}",
+                    f"{error:.2%}", "ok" if ok else "FAIL"]
+        rows.append(row)
+    header = ["workload", "sampled CPI", "stderr", "regions", "coverage",
+              "misspec/br"]
+    if args.check_full:
+        header += ["full CPI", "error", f"gate {CPI_ERROR_GATE:.0%}"]
+    print(render_table(header, rows))
+    if args.check_full:
+        total = len(names)
+        print(f"\n{total - failures}/{total} workload(s) within "
+              f"{CPI_ERROR_GATE:.0%} of the full run")
+    return 1 if failures else 0
 
 
 def _cmd_profile(args) -> int:
@@ -354,9 +402,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="timed instructions the trace must cover")
     p_tr.add_argument("--skip", type=int, default=10_000,
                       help="warm-up instructions (positions the checkpoint)")
+    p_tr.add_argument("--interval", type=int, default=None,
+                      help="records between interval checkpoints (default: "
+                           "8192; 0 disables them)")
     p_tr.add_argument("--dir", default=None,
                       help="trace store root (default: REPRO_CACHE_DIR "
                            "or ~/.cache/repro)")
+
+    p_smp = sub.add_parser(
+        "sample",
+        help="estimate whole-run CPI from sampled regions (DESIGN.md §10)")
+    p_smp.add_argument("workloads", nargs="*", default=None,
+                       help="workloads to sample (default: all of them)")
+    p_smp.add_argument("-n", "--instructions", type=int, default=60_000,
+                       help="timed span of the full run being estimated")
+    p_smp.add_argument("--skip", type=int, default=2_000,
+                       help="instructions before the timed span")
+    p_smp.add_argument("--strategy", default="simpoint",
+                       choices=["simpoint", "systematic"],
+                       help="region scheduler: clustered representatives "
+                            "or evenly spaced windows")
+    p_smp.add_argument("--measure", type=int, default=None,
+                       help="timed records per region (default: 1024)")
+    p_smp.add_argument("--warmup", type=int, default=None,
+                       help="functional warm records per region "
+                            "(default: 16384; clamped to the prefix)")
+    p_smp.add_argument("--detail", type=int, default=None,
+                       help="timed-but-discarded warm records per region "
+                            "(default: measure/4)")
+    p_smp.add_argument("--regions", type=int, default=None,
+                       help="cap on simpoint representatives (default: 8)")
+    p_smp.add_argument("--fraction", type=float, default=None,
+                       help="max fraction of the span simulated "
+                            "(default: 1/3)")
+    p_smp.add_argument("--interval", type=int, default=None,
+                       help="trace checkpoint interval (default: 8192)")
+    p_smp.add_argument("--check-full", action="store_true",
+                       help="also run the full span and gate the sampled "
+                            "CPI at 3%% relative error")
+    _add_machine_args(p_smp)
+    _add_exec_args(p_smp)
 
     p_prof = sub.add_parser(
         "profile", help="profile one simulation run with cProfile")
@@ -382,6 +467,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "verify": _cmd_verify,
     "trace": _cmd_trace,
+    "sample": _cmd_sample,
     "profile": _cmd_profile,
 }
 

@@ -16,11 +16,44 @@ processor size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from ..iq.select import FuPool
 from ..memory.hierarchy import MemoryConfig
 from ..pubs.config import PubsConfig
+
+
+@dataclass(frozen=True)
+class ReplayRegion:
+    """One sampled (warmup, measure) window of a replayed trace.
+
+    ``start`` is the dynamic sequence number where *measurement* begins.
+    Two warmup phases precede it, SMARTS-style: ``warmup`` records train
+    the microarchitectural state functionally (caches, predictor, BTB,
+    slice tracker -- fast, no timing), then ``detail`` records run
+    through the full timing model with the statistics discarded, so the
+    measured window starts from a filled pipeline/ROB/IQ instead of a
+    cold one (the dominant short-window bias).  The measured length is
+    the run's ``max_instructions`` budget, so a region is fully
+    described by (start, warmup, detail) -- and, riding inside
+    :class:`ProcessorConfig`, it is hashed into the exec job key, which
+    makes every region an independently cached simulation job
+    (SimPoint/SMARTS-style sampling; see DESIGN.md §10).
+    """
+
+    start: int
+    warmup: int
+    detail: int = 0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("region start must be non-negative")
+        if self.warmup < 0 or self.detail < 0:
+            raise ValueError("region warmup/detail must be non-negative")
+        if self.warmup + self.detail > self.start:
+            raise ValueError(
+                f"region warmup {self.warmup} + detail {self.detail} must "
+                f"fit between record 0 and the region start {self.start}")
 
 
 @dataclass(frozen=True)
@@ -82,6 +115,12 @@ class ProcessorConfig:
     #: see DESIGN.md §9).  Part of the configuration hash, so the two modes
     #: never share a cached result even though their stats are identical.
     frontend_mode: str = "live"
+    #: Replay a single sampled (warmup, measure) window instead of the
+    #: trace prefix: timing starts at ``replay_region.start`` after
+    #: fast-forwarding warm state over the warmup residue.  Requires
+    #: ``frontend_mode="replay"`` (a live executor cannot jump).  None
+    #: replays from the beginning as usual.
+    replay_region: Optional[ReplayRegion] = None
     pubs: PubsConfig = field(default_factory=PubsConfig.disabled)
     seed: int = 1
     #: Runtime verification (:mod:`repro.verify`): "off" (no checking, the
@@ -120,6 +159,10 @@ class ProcessorConfig:
         if self.frontend_mode not in ("live", "replay"):
             raise ValueError(
                 f"unknown frontend mode: {self.frontend_mode}")
+        if self.replay_region is not None and self.frontend_mode != "replay":
+            raise ValueError(
+                "replay_region requires frontend_mode='replay' (a live "
+                "functional executor cannot start mid-stream)")
         if self.verify_level == "commit":  # accepted spelling of commit-only
             object.__setattr__(self, "verify_level", "commit-only")
         if self.verify_level not in ("off", "commit-only", "full"):
@@ -156,6 +199,12 @@ class ProcessorConfig:
     def with_frontend(self, mode: str) -> "ProcessorConfig":
         """This machine with the given correct-path instruction supply."""
         return replace(self, frontend_mode=mode)
+
+    def with_region(self, start: int, warmup: int,
+                    detail: int = 0) -> "ProcessorConfig":
+        """This machine replaying one sampled region (implies replay)."""
+        return replace(self, frontend_mode="replay",
+                       replay_region=ReplayRegion(start, warmup, detail))
 
     def with_overrides(self, **kwargs) -> "ProcessorConfig":
         return replace(self, **kwargs)

@@ -193,6 +193,12 @@ class Pipeline:
         self._ready_buckets: Dict[int, List[Uop]] = {}  # cycle -> uops
         self._forward_latency = 2  # store-to-load forwarding (L1-hit-like)
         self._commit_limit: Optional[int] = None
+        #: Sampled-region detailed warmup still owed before measurement
+        #: (consumed by the first ``run`` on a region config).
+        self._pending_detail = 0
+        #: Hierarchy-counter baselines at the measurement start, so
+        #: region stats report the measured window, not the warm phases.
+        self._mem_stats_base = (0, 0)
         #: Optional callback invoked with every committing uop (fidelity
         #: checks, tracing).  Keep it cheap: it runs on the commit path.
         self.commit_hook = None
@@ -236,8 +242,12 @@ class Pipeline:
             self.cursor.release(self._next_trace_seq)
         if self.verifier is not None:
             self.verifier.on_skip(skip_instructions)
+        if self._pending_detail:
+            self._run_detail(self._pending_detail)
+            self._pending_detail = 0
         self._commit_limit = self.stats.committed + max_instructions
         limit = max_cycles if max_cycles is not None else 500 * max_instructions + 100_000
+        limit += self.cycle  # detail warmup spent cycles before measurement
         while self.stats.committed < self._commit_limit:
             self.step()
             if self.cycle > limit:
@@ -249,6 +259,32 @@ class Pipeline:
         if self.verifier is not None:
             self.verifier.on_run_end()
         return self.stats
+
+    def _run_detail(self, detail: int) -> None:
+        """Run the region's detailed-warmup records, then discard stats.
+
+        SMARTS-style: the ``detail`` records before the measured window
+        go through the full timing model so measurement starts from a
+        filled pipeline (in-flight ROB/IQ/LSQ contents, outstanding
+        misses), not the cold one a fast-forwarded seat leaves behind.
+        Their cycles and commits are discarded; only the warm state --
+        including the instructions still in flight -- carries over.
+        """
+        self._commit_limit = self.stats.committed + detail
+        limit = self.cycle + 500 * detail + 100_000
+        while self.stats.committed < self._commit_limit:
+            self.step()
+            if self.cycle > limit:
+                raise DeadlockError(
+                    f"no completion during detailed warmup after "
+                    f"{self.cycle} cycles ({self.stats.committed} committed)"
+                )
+        # Measurement starts here: fresh counters, and remember the
+        # hierarchy's absolute miss counts so _finalize_stats reports
+        # only the measured window's misses.
+        self.stats = SimStats()
+        self._mem_stats_base = (self.hierarchy.stats.l2_misses,
+                                self.hierarchy.stats.l1d_misses)
 
     def _prewarm_regions(self) -> None:
         """Install the program's cacheable data regions into the L2.
@@ -315,6 +351,39 @@ class Pipeline:
             else shared_store()
         fresh = (self.cycle == 0 and self.stats.committed == 0
                  and self._next_trace_seq == 0)
+        region = self.config.replay_region
+        if region is not None and fresh:
+            if skip_instructions:
+                raise ValueError(
+                    "replay_region and skip_instructions are mutually "
+                    "exclusive: the region's warmup already positions "
+                    "the timed window")
+            needed = region.start + max_instructions + REPLAY_MARGIN
+            trace = store.acquire(self.program, self.mem_seed, needed)
+            self.cursor = TraceReplayFrontEnd(trace, self.program)
+            # Timing (the discarded detail window first) starts at
+            # ``seat``; warm microarchitectural state fast-forwards only
+            # over the warmup residue before it, and the differential
+            # oracle (when enabled) restarts from the nearest
+            # ArchCheckpoint <= the seat instead of re-executing the
+            # whole prefix.
+            seat = region.start - region.detail
+            if region.warmup == seat and seat > 0:
+                # Full-prefix warmup is exactly the skip path's warm
+                # phase, so share its warm-checkpoint store: state at
+                # this seat is trained once and restored by every other
+                # config sampling the same window.
+                self._restore_or_train_warm(store, trace, seat)
+            else:
+                self._prewarm_regions()
+                self._warm_mem_span(trace, seat - region.warmup, seat)
+                self._warm_front_span(trace, seat - region.warmup, seat)
+            self._next_trace_seq = seat
+            self._pending_detail = region.detail
+            if self.verifier is not None:
+                self.verifier.on_region(trace, seat)
+            self.cursor.release(seat)
+            return
         start = 0 if fresh else self.cursor.high
         needed = start + skip_instructions + max_instructions + REPLAY_MARGIN
         trace = store.acquire(self.program, self.mem_seed, needed,
@@ -360,12 +429,40 @@ class Pipeline:
         self._last_ifetch_line = trace.pcs[skip - 1] >> 6
 
     def _warm_mem_span(self, trace, start: int, end: int) -> None:
-        """:meth:`_warm`'s memory-hierarchy half over trace records."""
+        """:meth:`_warm`'s memory-hierarchy half over trace records.
+
+        Most records are neither an I-line change nor a memory access;
+        when numpy is available the warm events are extracted
+        vectorized, so the Python loop only visits records that touch
+        the hierarchy -- same calls in the same order, so the resulting
+        warm state is bit-identical to the per-record walk.
+        """
         from ..trace.format import FLAG_MEM  # deferred: import cycle
+        if end <= start:
+            return
         pcs = trace.pcs
         flags = trace.flags
         mem_addrs = trace.mem_addrs
         hierarchy = self.hierarchy
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is not None:
+            lines = np.frombuffer(pcs, dtype=np.uint32)[start:end] >> 6
+            chg = np.empty(len(lines), dtype=bool)
+            chg[0] = lines[0] != self._last_ifetch_line
+            np.not_equal(lines[1:], lines[:-1], out=chg[1:])
+            mem = (np.frombuffer(flags, dtype=np.uint8)[start:end]
+                   & FLAG_MEM) != 0
+            for off in np.nonzero(chg | mem)[0].tolist():
+                i = start + off
+                if chg[off]:
+                    hierarchy.warm_ifetch(pcs[i])
+                if mem[off]:
+                    hierarchy.warm_data(mem_addrs[i])
+            self._last_ifetch_line = int(lines[-1])
+            return
         last_line = self._last_ifetch_line
         for i in range(start, end):
             pc = pcs[i]
@@ -378,7 +475,12 @@ class Pipeline:
         self._last_ifetch_line = last_line
 
     def _warm_front_span(self, trace, start: int, end: int) -> None:
-        """:meth:`_warm`'s predictor-complex half over trace records."""
+        """:meth:`_warm`'s predictor-complex half over trace records.
+
+        Vectorizes the branch-record scan like :meth:`_warm_mem_span`:
+        only conditional branches train the predictor complex, so the
+        Python loop skips straight to them.
+        """
         from ..trace.format import FLAG_COND_BRANCH, FLAG_TAKEN  # deferred
         pcs = trace.pcs
         flags = trace.flags
@@ -387,18 +489,28 @@ class Pipeline:
         btb = self.btb
         tracker = self.slice_tracker
         pubs_on = self.config.pubs.enabled
-        for i in range(start, end):
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is not None and end > start:
+            seg = np.frombuffer(flags, dtype=np.uint8)[start:end]
+            indices = np.nonzero(seg & FLAG_COND_BRANCH)[0].tolist()
+        else:
+            indices = (i - start for i in range(start, end)
+                       if flags[i] & FLAG_COND_BRANCH)
+        for off in indices:
+            i = start + off
             f = flags[i]
-            if f & FLAG_COND_BRANCH:
-                pc = pcs[i]
-                taken = bool(f & FLAG_TAKEN)
-                predicted = predictor.predict(pc)
-                predictor.update(pc, taken, predicted)
-                if taken:
-                    btb.install(pc, next_pcs[i])
-                if pubs_on:
-                    tracker.on_branch_resolved(pc,
-                                               correct=predicted == taken)
+            pc = pcs[i]
+            taken = bool(f & FLAG_TAKEN)
+            predicted = predictor.predict(pc)
+            predictor.update(pc, taken, predicted)
+            if taken:
+                btb.install(pc, next_pcs[i])
+            if pubs_on:
+                tracker.on_branch_resolved(pc,
+                                           correct=predicted == taken)
 
     def step(self) -> None:
         """Advance one clock cycle."""
@@ -414,8 +526,9 @@ class Pipeline:
             self.verifier.on_cycle()
 
     def _finalize_stats(self) -> None:
-        self.stats.llc_misses = self.hierarchy.stats.l2_misses
-        self.stats.l1d_misses = self.hierarchy.stats.l1d_misses
+        base_llc, base_l1d = self._mem_stats_base
+        self.stats.llc_misses = self.hierarchy.stats.l2_misses - base_llc
+        self.stats.l1d_misses = self.hierarchy.stats.l1d_misses - base_l1d
 
     # ==================================================================
     # Commit

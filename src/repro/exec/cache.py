@@ -13,8 +13,9 @@ which keeps concurrent workers from ever exposing a torn entry.
 
 Robustness rules:
 
-* a corrupt or unreadable entry counts as an *invalidation* (and is
-  deleted), never an error -- the caller just re-simulates;
+* a corrupt entry counts as an *invalidation* (and is deleted), never an
+  error -- the caller just re-simulates; a transient ``OSError`` (EACCES,
+  EIO) is only a *miss*: the entry may be healthy, so it is kept;
 * an entry recorded under a different ``CACHE_SCHEMA_VERSION`` is likewise
   invalidated (belt and braces: the schema version is also folded into the
   key, so such entries normally stop being addressed at all);
@@ -111,6 +112,12 @@ class ResultCache:
             self.stats.hits += 1
             return payload["result"]
         except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            # Transient I/O failure (EACCES, EIO, a directory squatting on
+            # the path): the entry may be perfectly healthy, so this is a
+            # plain miss -- never an invalidation, and never an unlink.
             self.stats.misses += 1
             return None
         except Exception:

@@ -39,7 +39,11 @@ from typing import Any
 #: SimulationResult grew frontend_mode -- live and replay runs hash to
 #: distinct keys even though their stats are bit-identical, so a cache
 #: hit always tells the truth about how the result was produced.
-CACHE_SCHEMA_VERSION = 3
+#: v4: ProcessorConfig grew replay_region (sampled region replay) and the
+#: trace format gained interval checkpoints (v2) -- a sampled region is an
+#: ordinary job whose key differs from the full run's, and every region of
+#: a sampling plan caches independently.
+CACHE_SCHEMA_VERSION = 4
 
 
 def canonicalize(obj: Any) -> Any:

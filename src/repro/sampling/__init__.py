@@ -1,0 +1,68 @@
+"""SimPoint/SMARTS-style sampled simulation over recorded traces.
+
+See DESIGN.md §10.  Public surface:
+
+* :func:`~repro.sampling.regions.plan_representative_regions` --
+  SimPoint-style planning: cluster the span's windows on trace-derived
+  behavior signatures (:mod:`repro.sampling.signature`) and schedule
+  one weighted representative per cluster;
+* :func:`~repro.sampling.regions.plan_regions` /
+  :class:`~repro.sampling.regions.RegionPlan` -- systematic
+  (SMARTS-style) evenly spaced windows over the same span;
+* :func:`~repro.sampling.run.sample_workload` /
+  :class:`~repro.sampling.run.SampledRun` -- fan the windows out as
+  independently cached exec jobs and aggregate;
+* :class:`~repro.sampling.aggregate.SampledEstimate` -- weighted
+  whole-span point estimate with per-region spread (reuses
+  :class:`~repro.analysis.robustness.SweepSummary`'s n>=2 honesty rule).
+"""
+
+from .aggregate import (
+    CI_Z,
+    SampledEstimate,
+    estimate_cpi,
+    estimate_misspec_penalty,
+)
+from .regions import (
+    DEFAULT_DETAIL,
+    DEFAULT_MAX_FRACTION,
+    DEFAULT_MEASURE,
+    DEFAULT_REGIONS,
+    DEFAULT_WARMUP,
+    Region,
+    RegionPlan,
+    plan_regions,
+    plan_representative_regions,
+)
+from .run import (
+    CPI_ERROR_GATE,
+    SampledRun,
+    region_jobs,
+    sample_workload,
+    sampled_vs_full_error,
+)
+from .signature import cluster_windows, signature_distance, window_signature
+
+__all__ = [
+    "CI_Z",
+    "CPI_ERROR_GATE",
+    "DEFAULT_DETAIL",
+    "DEFAULT_MAX_FRACTION",
+    "DEFAULT_MEASURE",
+    "DEFAULT_REGIONS",
+    "DEFAULT_WARMUP",
+    "Region",
+    "RegionPlan",
+    "SampledEstimate",
+    "SampledRun",
+    "cluster_windows",
+    "estimate_cpi",
+    "estimate_misspec_penalty",
+    "plan_regions",
+    "plan_representative_regions",
+    "region_jobs",
+    "sample_workload",
+    "sampled_vs_full_error",
+    "signature_distance",
+    "window_signature",
+]

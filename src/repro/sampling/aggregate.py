@@ -1,0 +1,115 @@
+"""Combine per-region stats into whole-trace estimates with errors.
+
+Each simulated region yields ordinary :class:`~repro.core.stats.SimStats`
+over its measured window.  The whole-span point estimate of a ratio
+metric is the ratio of the summed numerators and denominators -- e.g.
+CPI = sum(w * cycles) / sum(w * committed) -- where ``w`` is the
+region's weight: 1 for systematic plans (every window stands for its
+own stride) and the cluster population for SimPoint plans (each
+representative stands for every window of its behavior cluster).
+
+Spread comes from the per-region values through
+:class:`~repro.analysis.robustness.SweepSummary`, inheriting its honesty
+rules: standard error is NaN below two regions, and
+:attr:`SampledEstimate.significant` can never be claimed from a single
+window -- the n>=2 rule the seed sweeps already enforce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from ..analysis.robustness import SweepSummary
+from ..core.simulator import SimulationResult
+
+#: Two-sided ~95% normal quantile used for the confidence interval.
+CI_Z = 1.96
+
+
+@dataclass(frozen=True)
+class SampledEstimate:
+    """One whole-span metric estimated from sampled regions."""
+
+    metric: str
+    point: float  #: weighted whole-span estimate
+    summary: SweepSummary  #: unweighted per-region values (spread)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error over regions; NaN when n < 2."""
+        return self.summary.stderr
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        """~95% confidence interval around the point estimate.
+
+        (NaN, NaN) when the standard error is undefined (single region):
+        one window supports a point estimate but no error claim.
+        """
+        half = CI_Z * self.summary.stderr
+        return (self.point - half, self.point + half)
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width of the CI as a fraction of the point (NaN if n<2)."""
+        if not self.point:
+            return math.nan
+        return CI_Z * self.summary.stderr / abs(self.point)
+
+    def __str__(self) -> str:
+        if math.isnan(self.summary.stderr):
+            return f"{self.metric}={self.point:.4f} (n={self.summary.n})"
+        return (f"{self.metric}={self.point:.4f} "
+                f"+/- {CI_Z * self.summary.stderr:.4f} "
+                f"(n={self.summary.n})")
+
+
+def _ratio(num: float, den: float) -> float:
+    return num / den if den else math.nan
+
+
+def _region_weights(results: Sequence[SimulationResult],
+                    weights: "Sequence[int] | None") -> Sequence[int]:
+    if weights is None:
+        return (1,) * len(results)
+    if len(weights) != len(results):
+        raise ValueError(f"{len(weights)} weights for {len(results)} regions")
+    return weights
+
+
+def estimate_cpi(results: Sequence[SimulationResult],
+                 weights: "Sequence[int] | None" = None) -> SampledEstimate:
+    """Whole-span cycles-per-instruction from per-region windows."""
+    weights = _region_weights(results, weights)
+    cycles = sum(w * r.stats.cycles for w, r in zip(weights, results))
+    committed = sum(w * r.stats.committed for w, r in zip(weights, results))
+    per_region = tuple(_ratio(r.stats.cycles, r.stats.committed)
+                       for r in results)
+    return SampledEstimate("cpi", _ratio(cycles, committed),
+                           SweepSummary(per_region))
+
+
+def estimate_misspec_penalty(results: Sequence[SimulationResult],
+                             weights: "Sequence[int] | None" = None,
+                             ) -> SampledEstimate:
+    """Whole-span average misspeculation penalty per mispredicted branch.
+
+    Weighted by region weight times mispredictions (the metric's
+    denominator): regions with no mispredictions contribute nothing to
+    the point estimate and are excluded from the spread values -- their
+    per-region penalty is undefined, not zero.
+    """
+    weights = _region_weights(results, weights)
+    penalty = sum(w * r.stats.missspec_penalty_cycles
+                  for w, r in zip(weights, results))
+    mispredictions = sum(w * r.stats.mispredictions
+                         for w, r in zip(weights, results))
+    per_region = tuple(
+        _ratio(r.stats.missspec_penalty_cycles, r.stats.mispredictions)
+        for r in results if r.stats.mispredictions)
+    return SampledEstimate("misspec_penalty",
+                           _ratio(penalty, mispredictions),
+                           SweepSummary(per_region) if per_region
+                           else SweepSummary((math.nan,)))

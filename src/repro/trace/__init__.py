@@ -16,16 +16,18 @@ See DESIGN.md §9.  Public surface:
   microarchitectural checkpoints.
 """
 
-from .capture import capture_trace, extend_trace
+from .capture import adopt_skip_checkpoint, capture_trace, extend_trace
 from .format import (
+    DEFAULT_CHECKPOINT_INTERVAL,
     TRACE_FORMAT_VERSION,
     ArchCheckpoint,
     Trace,
     TraceFormatError,
     decode_trace,
     encode_trace,
+    trace_metadata,
 )
-from .replay import TraceExhaustedError, TraceReplayFrontEnd
+from .replay import TraceExhaustedError, TraceReplayFrontEnd, static_decode_table
 from .store import (
     REPLAY_MARGIN,
     TraceStore,
@@ -35,6 +37,7 @@ from .store import (
 )
 
 __all__ = [
+    "DEFAULT_CHECKPOINT_INTERVAL",
     "TRACE_FORMAT_VERSION",
     "REPLAY_MARGIN",
     "ArchCheckpoint",
@@ -43,6 +46,7 @@ __all__ = [
     "TraceExhaustedError",
     "TraceReplayFrontEnd",
     "TraceStore",
+    "adopt_skip_checkpoint",
     "capture_trace",
     "decode_trace",
     "encode_trace",
@@ -50,4 +54,6 @@ __all__ = [
     "program_fingerprint",
     "reset_shared_stores",
     "shared_store",
+    "static_decode_table",
+    "trace_metadata",
 ]

@@ -15,12 +15,17 @@ arrays rather than per-record objects:
 * ``wb_values``  -- ``array('Q')``, the register write-back value (0 for
   records without a destination; the flag bit disambiguates).
 
-Two architectural-state checkpoints ride along: one taken after the
-capture-time ``skip`` (warmup fast-forward) and one at the end of the
-captured stream.  The end checkpoint makes a trace *extendable* -- a later
-request for more records resumes functional execution from it instead of
-re-executing from scratch -- and gives the differential oracle a reference
-state to diff replayed runs against.
+Architectural-state checkpoints ride along with the arrays: one taken
+after the capture-time ``skip`` (warmup fast-forward), one at the end of
+the captured stream, and -- since format version 2 -- one every
+``checkpoint_interval`` records.  The end checkpoint makes a trace
+*extendable* (a later request for more records resumes functional
+execution from it instead of re-executing from scratch) and gives the
+differential oracle a reference state to diff replayed runs against.
+The interval checkpoints let a replayed run *start* anywhere: the
+nearest checkpoint at or below a requested region start seats the
+oracle, and only the residue up to the region needs fast-forwarding
+(SimPoint/SMARTS-style mid-run sampling).
 
 The serialized payload is a plain dict of primitives (arrays rendered as
 bytes) so it pickles compactly, carries ``TRACE_FORMAT_VERSION``, and is
@@ -43,7 +48,16 @@ from ..isa.instruction import Program
 #: Bump whenever the record layout or checkpoint contents change; the
 #: version is folded into every trace key *and* checked in the payload, so
 #: stale entries stop being found and, belt-and-braces, fail decode.
-TRACE_FORMAT_VERSION = 1
+#:
+#: v2: interval checkpoints (``ArchCheckpoint`` every
+#: ``checkpoint_interval`` records) for mid-run region sampling.
+TRACE_FORMAT_VERSION = 2
+
+#: Default spacing of interval checkpoints.  8192 records keeps the
+#: checkpoint overhead small (one register/memory snapshot per ~200 KB of
+#: record arrays) while bounding the oracle's fast-forward residue for
+#: any region start.  0 disables interval checkpoints.
+DEFAULT_CHECKPOINT_INTERVAL = 8192
 
 #: Per-record flag bits.
 FLAG_TAKEN = 1  #: branch outcome (conditional branches and jumps)
@@ -85,7 +99,7 @@ class ArchCheckpoint:
 
 
 class Trace:
-    """A decoded trace: record arrays plus the two checkpoints.
+    """A decoded trace: record arrays plus the checkpoints.
 
     The object is program-agnostic (records reference instructions by PC);
     the replay front end binds it to a concrete :class:`Program` at use.
@@ -93,13 +107,15 @@ class Trace:
 
     __slots__ = ("pcs", "flags", "next_pcs", "mem_addrs", "wb_values",
                  "skip_checkpoint", "end_checkpoint", "captured_skip",
-                 "mem_seed")
+                 "mem_seed", "checkpoint_interval", "interval_checkpoints")
 
     def __init__(self, pcs: array, flags: bytearray, next_pcs: array,
                  mem_addrs: array, wb_values: array,
                  skip_checkpoint: Optional[ArchCheckpoint],
                  end_checkpoint: ArchCheckpoint,
-                 captured_skip: int, mem_seed: int):
+                 captured_skip: int, mem_seed: int,
+                 checkpoint_interval: int = 0,
+                 interval_checkpoints: Tuple[ArchCheckpoint, ...] = ()):
         self.pcs = pcs
         self.flags = flags
         self.next_pcs = next_pcs
@@ -111,9 +127,32 @@ class Trace:
         self.end_checkpoint = end_checkpoint
         self.captured_skip = captured_skip
         self.mem_seed = mem_seed
+        #: Spacing of :attr:`interval_checkpoints` (0 = none recorded).
+        self.checkpoint_interval = checkpoint_interval
+        #: Checkpoints at every positive multiple of the interval strictly
+        #: inside the captured stream, ascending by ``seq``.
+        self.interval_checkpoints = interval_checkpoints
 
     def __len__(self) -> int:
         return len(self.pcs)
+
+    def checkpoint_at(self, seq: int) -> Optional[ArchCheckpoint]:
+        """The nearest checkpoint with ``ckpt.seq <= seq``, or None.
+
+        Considers the skip, interval, and end checkpoints.  ``None`` means
+        no recorded state at or below ``seq``; the caller starts a fresh
+        functional executor at sequence 0 and fast-forwards all of ``seq``.
+        """
+        best = None
+        for ckpt in self.interval_checkpoints:
+            if ckpt.seq > seq:
+                break
+            best = ckpt
+        for ckpt in (self.skip_checkpoint, self.end_checkpoint):
+            if ckpt is not None and ckpt.seq <= seq:
+                if best is None or ckpt.seq > best.seq:
+                    best = ckpt
+        return best
 
     def payload_bytes(self) -> int:
         """Approximate in-memory size of the record arrays."""
@@ -153,6 +192,8 @@ def encode_trace(trace: Trace) -> dict:
         "checksum": _checksum(pcs, flags, next_pcs, mem_addrs, wb_values),
         "skip_checkpoint": trace.skip_checkpoint,
         "end_checkpoint": trace.end_checkpoint,
+        "checkpoint_interval": trace.checkpoint_interval,
+        "interval_checkpoints": tuple(trace.interval_checkpoints),
     }
 
 
@@ -178,6 +219,8 @@ def decode_trace(payload: dict) -> Trace:
         end_ckpt = payload["end_checkpoint"]
         captured_skip = payload["captured_skip"]
         mem_seed = payload["mem_seed"]
+        interval = payload["checkpoint_interval"]
+        interval_ckpts = tuple(payload["interval_checkpoints"])
     except KeyError as exc:
         raise TraceFormatError(f"trace payload lacks field {exc}") from exc
     if _checksum(*raw) != checksum:
@@ -196,5 +239,53 @@ def decode_trace(payload: dict) -> Trace:
         raise TraceFormatError("trace array lengths disagree with count")
     if not isinstance(end_ckpt, ArchCheckpoint) or end_ckpt.seq != count:
         raise TraceFormatError("trace end checkpoint out of position")
+    if not isinstance(interval, int) or interval < 0:
+        raise TraceFormatError("trace checkpoint interval invalid")
+    prev = 0
+    for ckpt in interval_ckpts:
+        if not isinstance(ckpt, ArchCheckpoint):
+            raise TraceFormatError("interval checkpoint has wrong type")
+        if (not interval or ckpt.seq % interval != 0
+                or not prev < ckpt.seq < count):
+            raise TraceFormatError(
+                f"interval checkpoint at seq {ckpt.seq} out of position")
+        prev = ckpt.seq
     return Trace(pcs, flags, next_pcs, mem_addrs, wb_values,
-                 skip_ckpt, end_ckpt, captured_skip, mem_seed)
+                 skip_ckpt, end_ckpt, captured_skip, mem_seed,
+                 interval, interval_ckpts)
+
+
+def trace_metadata(payload: dict) -> dict:
+    """Summarize a payload without materializing or checksumming arrays.
+
+    Used by :meth:`~repro.trace.store.TraceStore.describe`: metadata reads
+    (record count, checkpoint positions, byte sizes) must not pay the
+    decode cost of multi-megabyte record arrays.  Raises
+    :class:`TraceFormatError` on a wrong version or missing fields; it
+    deliberately does *not* verify the checksum -- a later full decode
+    still would.
+    """
+    if not isinstance(payload, dict):
+        raise TraceFormatError("trace payload is not a mapping")
+    if payload.get("format") != TRACE_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"trace format version {payload.get('format')!r} != "
+            f"{TRACE_FORMAT_VERSION}")
+    try:
+        skip_ckpt = payload["skip_checkpoint"]
+        return {
+            "records": payload["count"],
+            "captured_skip": payload["captured_skip"],
+            "mem_seed": payload["mem_seed"],
+            "checkpoint_interval": payload["checkpoint_interval"],
+            "skip_checkpoint_seq":
+                skip_ckpt.seq if skip_ckpt is not None else None,
+            "end_checkpoint_seq": payload["end_checkpoint"].seq,
+            "interval_checkpoint_seqs": tuple(
+                ckpt.seq for ckpt in payload["interval_checkpoints"]),
+            "payload_bytes": sum(
+                len(payload[k]) for k in
+                ("pcs", "flags", "next_pcs", "mem_addrs", "wb_values")),
+        }
+    except (KeyError, AttributeError) as exc:
+        raise TraceFormatError(f"trace payload lacks field {exc}") from exc

@@ -29,19 +29,34 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from ..exec.cache import ResultCache, cache_enabled_by_env, default_cache_dir
 from ..exec.serialize import fingerprint
 from ..isa.instruction import Program
-from .capture import capture_trace, extend_trace
-from .format import TRACE_FORMAT_VERSION, Trace, TraceFormatError, decode_trace, encode_trace
+from .capture import adopt_skip_checkpoint, capture_trace, extend_trace
+from .format import (
+    TRACE_FORMAT_VERSION,
+    Trace,
+    TraceFormatError,
+    decode_trace,
+    encode_trace,
+    trace_metadata,
+)
 
 #: Fetch runs ahead of commit by at most the in-flight window (ROB +
 #: front-end buffer + one fetch group); captures are padded by this many
 #: records -- far beyond any Table IV machine -- and rounded up to it, so
 #: every configuration of a sweep addresses the *same* capture.
 REPLAY_MARGIN = 4096
+
+#: Cross-process capture claim: how long a non-claiming process waits for
+#: the claim holder to publish before recording redundantly anyway, and
+#: how often it polls the cache while waiting.  A claim file older than
+#: the timeout is presumed orphaned (claim holder died) and is removed.
+CLAIM_TIMEOUT = 120.0
+CLAIM_POLL = 0.02
 
 
 def program_fingerprint(program: Program, mem_seed: int) -> str:
@@ -83,10 +98,12 @@ class TraceStore:
     # Traces
     # ------------------------------------------------------------------
 
-    def _load_trace(self, key: str) -> Optional[Trace]:
-        trace = self._trace_memo.get(key)
-        if trace is not None:
-            return trace
+    def _load_trace(self, key: str, refresh: bool = False
+                    ) -> Optional[Trace]:
+        if not refresh:
+            trace = self._trace_memo.get(key)
+            if trace is not None:
+                return trace
         if self._traces is None:
             return None
         payload = self._traces.get(key)
@@ -105,50 +122,183 @@ class TraceStore:
         self._trace_memo[key] = trace
         return trace
 
-    def _store_trace(self, key: str, trace: Trace) -> None:
+    def _store_trace(self, key: str, trace: Trace) -> bool:
+        """Publish ``trace``; True when it landed on persistent disk.
+
+        A memory-only store always "lands" (the memo *is* its storage);
+        a persistent store reports whether the write actually succeeded,
+        so the capture/extension counters reflect on-disk reality.
+        """
         self._trace_memo[key] = trace
-        if self._traces is not None:
-            self._traces.put(key, encode_trace(trace))
+        if self._traces is None:
+            return True
+        before = self._traces.stats.stores
+        self._traces.put(key, encode_trace(trace))
+        return self._traces.stats.stores > before
+
+    # -- cross-process capture claim -----------------------------------
+
+    def _claim_path(self, key: str) -> "os.PathLike":
+        return self._traces.directory / (key + ".claim")
+
+    def _try_claim(self, key: str) -> bool:
+        """Atomically claim the right to record ``key`` (O_EXCL create)."""
+        try:
+            fd = os.open(self._claim_path(key),
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        except OSError:
+            # Unwritable directory: no coordination possible; record
+            # uncoordinated (os.replace still keeps entries untorn).
+            return True
+        os.close(fd)
+        return True
+
+    def _release_claim(self, key: str) -> None:
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def _break_stale_claim(self, key: str) -> None:
+        """Remove a claim file whose holder evidently died."""
+        try:
+            age = time.time() - os.stat(self._claim_path(key)).st_mtime
+            if age > CLAIM_TIMEOUT:
+                os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def _produce(self, key: str, program: Program, mem_seed: int,
+                 needed: int, skip_hint: int,
+                 checkpoint_interval: Optional[int]) -> Trace:
+        """Capture or extend so the entry covers ``needed`` records."""
+        kwargs = {}
+        if checkpoint_interval is not None:
+            kwargs["checkpoint_interval"] = checkpoint_interval
+        trace = self._load_trace(key, refresh=True)
+        if trace is not None and checkpoint_interval is not None \
+                and trace.checkpoint_interval != checkpoint_interval:
+            trace = None  # caller wants a different cadence: re-record
+        if trace is None:
+            trace = capture_trace(program, mem_seed, needed,
+                                  skip=skip_hint, **kwargs)
+            if self._store_trace(key, trace):
+                self.captures += 1
+            return trace
+        grown = extend_trace(trace, program, max(needed, len(trace)),
+                             skip_hint=skip_hint)
+        if grown is not trace:
+            # Count an extension only when records actually grew -- a
+            # pure skip-checkpoint adoption rewrites metadata, not stream.
+            if self._store_trace(key, grown) and len(grown) > len(trace):
+                self.extensions += 1
+        return grown
 
     def acquire(self, program: Program, mem_seed: int, min_records: int,
-                skip_hint: int = 0) -> Trace:
+                skip_hint: int = 0,
+                checkpoint_interval: Optional[int] = None) -> Trace:
         """The trace for ``program``, recording or extending as needed.
 
         The returned trace covers at least ``min_records`` records
         (rounded up to the :data:`REPLAY_MARGIN` granularity so differing
         per-config margins still share one capture).  ``skip_hint``
-        positions the warmup checkpoint when a fresh capture is needed.
+        positions the warmup checkpoint: live-snapshotted on a fresh
+        capture, threaded through :func:`~repro.trace.capture.extend_trace`
+        on the extension path, or adopted from an exactly-aligned interval
+        checkpoint; when none of those apply the replay warm-training
+        path (which reads the record arrays, not checkpoints) still works.
+        ``checkpoint_interval`` pins the interval-checkpoint cadence
+        (None accepts whatever the stored trace has, defaulting new
+        captures to :data:`~repro.trace.format.DEFAULT_CHECKPOINT_INTERVAL`).
+
+        Concurrent processes coordinate through an ``O_EXCL`` claim file:
+        one records while the rest poll for the published entry, so a
+        parallel sweep over one workload captures its trace exactly once.
         """
         key = program_fingerprint(program, mem_seed)
         needed = -(-min_records // REPLAY_MARGIN) * REPLAY_MARGIN
+
+        def _covers(trace: Optional[Trace]) -> bool:
+            if trace is None or len(trace) < min_records:
+                return False
+            if (checkpoint_interval is not None
+                    and trace.checkpoint_interval != checkpoint_interval):
+                return False
+            if skip_hint and trace.skip_checkpoint is None:
+                # An exactly-aligned snapshot satisfies the hint for
+                # free; otherwise the trace still covers -- replay's
+                # warm training reads the record arrays directly and
+                # needs no architectural skip checkpoint (the tested
+                # fallback for traces first recorded with skip=0).
+                adopted = adopt_skip_checkpoint(trace, skip_hint)
+                if adopted is not trace:
+                    self._store_trace(key, adopted)
+            return True
+
         trace = self._load_trace(key)
-        if trace is not None and len(trace) >= min_records:
-            return trace
-        if trace is None:
-            trace = capture_trace(program, mem_seed, needed, skip=skip_hint)
-            self.captures += 1
-        else:
-            trace = extend_trace(trace, program, needed)
-            self.extensions += 1
-        self._store_trace(key, trace)
-        return trace
+        if _covers(trace):
+            return self._trace_memo[key]
+        if self._traces is None:
+            return self._produce(key, program, mem_seed, needed, skip_hint,
+                                 checkpoint_interval)
+        deadline = time.monotonic() + CLAIM_TIMEOUT
+        while True:
+            if self._try_claim(key):
+                try:
+                    return self._produce(key, program, mem_seed, needed,
+                                         skip_hint, checkpoint_interval)
+                finally:
+                    self._release_claim(key)
+            trace = self._load_trace(key, refresh=True)
+            if _covers(trace):
+                return self._trace_memo[key]
+            if time.monotonic() > deadline:
+                # Claim holder is stuck or gone: record redundantly
+                # (safe -- os.replace publishes whole entries) rather
+                # than deadlock, and clear the orphaned claim.
+                self._break_stale_claim(key)
+                return self._produce(key, program, mem_seed, needed,
+                                     skip_hint, checkpoint_interval)
+            self._break_stale_claim(key)
+            time.sleep(CLAIM_POLL)
 
     def describe(self, program: Program, mem_seed: int) -> Optional[dict]:
-        """Metadata about the stored trace, or None when absent."""
+        """Metadata about the stored trace, or None when absent.
+
+        Reads checkpoint positions and sizes from the payload *without*
+        materializing the record arrays (:func:`trace_metadata`) -- a
+        metadata query must not pay the decode cost of a multi-megabyte
+        trace.  An already-memoized decoded trace is summarized directly.
+        """
         key = program_fingerprint(program, mem_seed)
-        trace = self._load_trace(key)
-        if trace is None:
+        trace = self._trace_memo.get(key)
+        if trace is not None:
+            return {
+                "key": key,
+                "records": len(trace),
+                "captured_skip": trace.captured_skip,
+                "payload_bytes": trace.payload_bytes(),
+                "checkpoint_interval": trace.checkpoint_interval,
+                "skip_checkpoint_seq": (trace.skip_checkpoint.seq
+                                        if trace.skip_checkpoint else None),
+                "end_checkpoint_seq": trace.end_checkpoint.seq,
+                "interval_checkpoint_seqs": tuple(
+                    ckpt.seq for ckpt in trace.interval_checkpoints),
+                "mem_seed": trace.mem_seed,
+            }
+        if self._traces is None:
             return None
-        return {
-            "key": key,
-            "records": len(trace),
-            "captured_skip": trace.captured_skip,
-            "payload_bytes": trace.payload_bytes(),
-            "skip_checkpoint_seq": (trace.skip_checkpoint.seq
-                                    if trace.skip_checkpoint else None),
-            "end_checkpoint_seq": trace.end_checkpoint.seq,
-            "mem_seed": trace.mem_seed,
-        }
+        payload = self._traces.get(key)
+        if payload is None:
+            return None
+        try:
+            meta = trace_metadata(payload)
+        except TraceFormatError:
+            return None  # read-only query: report absent, do not unlink
+        meta["key"] = key
+        return meta
 
     # ------------------------------------------------------------------
     # Warm-component checkpoints

@@ -73,6 +73,22 @@ class PipelineVerifier:
         """Mirror the warm-up fast-forward in the oracle's executor."""
         self.oracle.skip(count)
 
+    def on_region(self, trace, start: int) -> None:
+        """Seat the oracle at a sampled region start.
+
+        Restores from the trace's nearest :class:`~repro.trace.format.
+        ArchCheckpoint` at or below ``start`` and functionally steps only
+        the residue -- O(checkpoint interval) instead of O(region start),
+        which is what makes verified sampled runs affordable.  Without
+        any usable checkpoint the oracle steps the whole prefix.
+        """
+        checkpoint = trace.checkpoint_at(start)
+        if checkpoint is not None and checkpoint.seq <= start:
+            self.oracle.restore_checkpoint(checkpoint)
+            self.oracle.skip(start - checkpoint.seq)
+        else:
+            self.oracle.skip(start)
+
     def on_commit(self, uop) -> None:
         self.oracle.check_commit(uop, self.pipeline.cycle)
 

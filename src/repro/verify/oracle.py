@@ -55,6 +55,16 @@ class CommitOracle:
         for _ in range(count):
             self.executor.step()
 
+    def restore_checkpoint(self, checkpoint) -> None:
+        """Re-seat the oracle at a recorded architectural state.
+
+        ``checkpoint`` is a :class:`~repro.trace.format.ArchCheckpoint`
+        of the same (program, mem_seed) stream; sampled-region replay
+        uses the nearest one below the region start so only the residue
+        needs functional stepping.
+        """
+        self.executor = checkpoint.restore(self.executor.program)
+
     def check_commit(self, uop, cycle: int) -> None:
         """Verify one committing uop against the next in-order instruction."""
         if not uop.on_correct_path:

@@ -110,3 +110,50 @@ class TestVerifyCommand:
         # "off" would make the command vacuous; the parser refuses it.
         with pytest.raises(SystemExit):
             build_parser().parse_args(["verify", "--level", "off"])
+
+    def test_sample_defaults(self):
+        args = build_parser().parse_args(["sample", "mcf"])
+        assert args.workloads == ["mcf"]
+        assert args.instructions == 60_000
+        assert args.strategy == "simpoint"
+        assert not args.check_full
+
+    def test_sample_rejects_bogus_strategy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sample", "--strategy", "psychic"])
+
+    @pytest.fixture
+    def isolated_store(self, monkeypatch, tmp_path):
+        from repro.trace import store as store_module
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        store_module.reset_shared_stores()
+        yield
+        store_module.reset_shared_stores()
+
+    def test_sample_estimates(self, capsys, isolated_store):
+        assert main(["sample", "mcf", "-n", "6000", "--skip", "1000",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled CPI" in out and "coverage" in out
+
+    def test_trace_record_with_interval(self, capsys, isolated_store):
+        assert main(["trace", "record", "--workload", "mcf", "-n", "2000",
+                     "--skip", "500", "--interval", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "interval ckpts" in out and "1024" in out
+
+    def test_suite_replay_matches_live(self, capsys, isolated_store):
+        # Regression: --frontend used to leak into _machine_from_args,
+        # defeating the "no machine flags -> compare against PUBS"
+        # default, so a replay suite compared base against itself and
+        # reported +0.00% everywhere.  Replay must print the exact same
+        # table as live.
+        argv = ["suite", "--workloads", "sjeng", "-n", "1500",
+                "--skip", "500", "--no-cache"]
+        assert main(argv) == 0
+        live = capsys.readouterr().out
+        assert main(argv + ["--frontend", "replay"]) == 0
+        replay = capsys.readouterr().out
+        assert "+0.00%" not in live
+        assert replay == live

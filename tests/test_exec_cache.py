@@ -100,6 +100,34 @@ class TestResultCache:
         assert cache.get("e" * 64) is None
         assert cache.stats.invalidations == 1
 
+    def test_transient_oserror_is_a_miss_not_an_invalidation(self, tmp_path):
+        """An unreadable path must not count as (or trigger) invalidation.
+
+        Regression: transient I/O failures used to be lumped in with
+        corruption, inflating the invalidation counter and deleting
+        entries that were perfectly healthy.  A directory squatting on
+        the entry path raises ``IsADirectoryError`` (an ``OSError``)
+        from ``open`` -- the canonical stand-in for EACCES/EIO, which
+        cannot be provoked via permission bits when running as root.
+        """
+        cache = ResultCache(tmp_path)
+        job = _job()
+        key = job_key(job)
+        cache.put(key, execute_job(job))
+        entry = tmp_path / (key + ".pkl")
+        aside = tmp_path / "healthy-entry"
+        entry.rename(aside)
+        entry.mkdir()  # open() now raises IsADirectoryError
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.invalidations == 0
+        assert entry.is_dir()  # never unlinked on a transient failure
+        # Once the path is readable again, the untouched entry still hits.
+        entry.rmdir()
+        aside.rename(entry)
+        assert cache.get(key) is not None
+        assert cache.stats.invalidations == 0
+
     def test_clear_and_maintenance_views(self, tmp_path):
         cache = ResultCache(tmp_path)
         job = _job()

@@ -6,9 +6,12 @@ survive a truncated file, a schema bump, or garbage bytes without user
 intervention.
 """
 
+import multiprocessing
 import pickle
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.exec.serialize import CACHE_SCHEMA_VERSION
 from repro.isa.executor import FunctionalExecutor
@@ -206,3 +209,91 @@ def test_store_warm_round_trip(tmp_path):
 
 def test_program_fingerprint_sensitive_to_seed():
     assert program_fingerprint(PROGRAM, 0) != program_fingerprint(PROGRAM, 1)
+
+
+def _race_acquire(root):
+    """Worker for the cross-process claim test (fork-picklable)."""
+    store = TraceStore(root=root, persistent=True)
+    store.acquire(PROGRAM, PROFILE.mem_seed, 2000)
+    return store.captures
+
+
+def test_store_parallel_acquire_captures_once(tmp_path):
+    """Concurrent cold acquires of one key record the trace exactly once.
+
+    The ``O_EXCL`` claim file elects a single recorder; everyone else
+    polls until the entry is published, so the per-process capture
+    counters must sum to one across the pool.
+    """
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(4) as pool:
+        counts = pool.map(_race_acquire, [tmp_path] * 4)
+    assert sum(counts) == 1
+    # The election leaves no claim file behind.
+    assert not list(tmp_path.rglob("*.claim"))
+    # And the published entry serves later processes from disk.
+    follower = TraceStore(root=tmp_path, persistent=True)
+    follower.acquire(PROGRAM, PROFILE.mem_seed, 2000)
+    assert follower.captures == 0
+
+
+# ----------------------------------------------------------------------
+# Interval checkpoints (format v2)
+# ----------------------------------------------------------------------
+
+@given(interval=st.integers(min_value=32, max_value=300),
+       length=st.integers(min_value=50, max_value=800),
+       seat=st.integers(min_value=0, max_value=799))
+def test_interval_checkpoints_round_trip_and_resume(interval, length, seat):
+    """Property: cadence positions survive the round trip, and seating at
+    the nearest checkpoint <= any seat resumes bit-identically.
+
+    This is the contract mid-run region sampling leans on: replaying a
+    region seats architectural state at ``checkpoint_at(seat)`` and
+    fast-forwards only the residue.
+    """
+    seat = min(seat, length - 1)
+    trace = capture_trace(PROGRAM, PROFILE.mem_seed, length,
+                          checkpoint_interval=interval)
+    expected = tuple(range(interval, length, interval))
+    assert tuple(c.seq for c in trace.interval_checkpoints) == expected
+    assert trace.checkpoint_interval == interval
+
+    loaded = decode_trace(pickle.loads(pickle.dumps(encode_trace(trace))))
+    assert loaded.checkpoint_interval == interval
+    assert loaded.interval_checkpoints == trace.interval_checkpoints
+
+    ckpt = loaded.checkpoint_at(seat)
+    if ckpt is None:
+        assert seat < interval  # nothing recorded at or below the seat
+        executor = FunctionalExecutor(PROGRAM, mem_seed=PROFILE.mem_seed)
+    else:
+        assert ckpt.seq <= seat
+        # Nearest: no recorded checkpoint lands in (ckpt.seq, seat].
+        for other in loaded.interval_checkpoints:
+            if other.seq <= seat:
+                assert other.seq <= ckpt.seq
+        executor = ckpt.restore(PROGRAM)
+        assert executor.seq == ckpt.seq
+    executor.run(seat - executor.seq)
+    record = executor.step()
+    assert record.inst.pc == trace.pcs[seat]
+    assert record.next_pc == trace.next_pcs[seat]
+    assert record.taken == bool(trace.flags[seat] & 1)
+
+
+def test_interval_checkpoints_disabled_with_zero():
+    trace = capture_trace(PROGRAM, PROFILE.mem_seed, 500,
+                          checkpoint_interval=0)
+    assert trace.checkpoint_interval == 0
+    assert trace.interval_checkpoints == ()
+
+
+def test_decode_rejects_misplaced_interval_checkpoint():
+    trace = _capture(length=1000, skip=0)
+    payload = encode_trace(trace)
+    # Claim a checkpoint at a seq that is not a cadence multiple.
+    payload["interval_checkpoints"] = (
+        payload["end_checkpoint"],)  # seq == count: out of position
+    with pytest.raises(TraceFormatError):
+        decode_trace(payload)
