@@ -47,8 +47,12 @@ from repro.core.simulator import simulate
 from repro.exec import SimJob, SweepExecutor
 from repro.sampling import (
     CPI_ERROR_GATE,
+    DEFAULT_DETAIL,
     DEFAULT_MAX_FRACTION,
+    DEFAULT_MEASURE,
+    DEFAULT_REGIONS,
     sample_workload,
+    sample_workload_adaptive,
     sampled_vs_full_error,
 )
 from repro.trace import TraceStore
@@ -92,7 +96,7 @@ def _update_artifact(section, payload):
     # Drop anything that is not a current section (e.g. the pre-section
     # flat layout) so the artifact never accumulates stale keys.
     data = {k: v for k, v in data.items()
-            if k in ("sweep", "frontend", "sampling")}
+            if k in ("sweep", "frontend", "sampling", "adaptive")}
     data[section] = payload
     ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
 
@@ -367,3 +371,110 @@ def test_sampling_accuracy_speedup(report):
     assert speedup >= SAMPLING_MIN_SPEEDUP, \
         f"sampling must run >= {SAMPLING_MIN_SPEEDUP}x faster than the " \
         f"full runs in aggregate, measured {speedup:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# Adaptive sampling: honest CIs at below-fixed cost
+# ----------------------------------------------------------------------
+
+#: Adaptive must simulate fewer records than the fixed 8-region plan on
+#: at least this many of the gated workloads (gcc's phase variance makes
+#: it legitimately escalate past 8 -- spend is supposed to follow
+#: variance, so one expensive workload is not a failure).
+ADAPTIVE_MIN_CHEAPER = 2
+
+
+def test_adaptive_sampling_honesty(report):
+    """The sampled speedup table with CIs, against full-budget goldens.
+
+    Two gates: every (config, workload) cell's full-budget CPI must land
+    inside the cell's reported 95% CI, and adaptive escalation must
+    spend less than the fixed ``DEFAULT_REGIONS``-region plan on at
+    least ``ADAPTIVE_MIN_CHEAPER`` of the three workloads (converging
+    early where variance is low, instead of paying k=8 everywhere).
+    """
+    base = ProcessorConfig.cortex_a72_like()
+    configs = {"base": base, "pubs": base.with_pubs()}
+    store = TraceStore(persistent=False)
+    fixed_records = DEFAULT_REGIONS * (DEFAULT_MEASURE + DEFAULT_DETAIL)
+    # The fixed plan must not itself be budget-capped below 8 regions at
+    # this span, or the comparison would be against a strawman.
+    assert int(SAMPLING_INSTRUCTIONS * DEFAULT_MAX_FRACTION) \
+        >= fixed_records
+
+    rows = []
+    per_workload = {}
+    cells_inside = cells_total = 0
+    for workload in SAMPLING_WORKLOADS:
+        profile = get_profile(workload)
+        program = build_program(profile)
+        store.acquire(program, profile.mem_seed,
+                      SAMPLING_SKIP + SAMPLING_INSTRUCTIONS + REPLAY_MARGIN)
+        cells = {}
+        for config_name, cfg in configs.items():
+            full = simulate(program, cfg.with_frontend("replay"),
+                            max_instructions=SAMPLING_INSTRUCTIONS,
+                            skip_instructions=SAMPLING_SKIP,
+                            mem_seed=profile.mem_seed, trace_source=store)
+            run = sample_workload_adaptive(
+                workload, cfg, instructions=SAMPLING_INSTRUCTIONS,
+                skip=SAMPLING_SKIP, jobs=1, cache=False, store=store)
+            golden = full.stats.cycles / full.stats.committed
+            lo, hi = run.cpi.ci95
+            inside = lo <= golden <= hi
+            cells_total += 1
+            cells_inside += inside
+            cells[config_name] = {
+                "full_cpi": golden,
+                "sampled_cpi": run.cpi.point,
+                "ci95": [lo, hi],
+                "inside": inside,
+                "regions": len(run.plan.regions),
+                "rounds": len(run.rounds),
+                "converged": run.converged,
+                "simulated_records": run.simulated_records,
+            }
+            rows.append([workload, config_name, f"{golden:.4f}",
+                         f"{run.cpi.point:.4f}", f"{lo:.4f}..{hi:.4f}",
+                         "yes" if inside else "NO",
+                         str(len(run.plan.regions)),
+                         str(run.simulated_records)])
+        adaptive_records = max(c["simulated_records"]
+                               for c in cells.values())
+        per_workload[workload] = {
+            "cells": cells,
+            "adaptive_records": adaptive_records,
+            "fixed_records": fixed_records,
+            "cheaper_than_fixed": adaptive_records < fixed_records,
+        }
+
+    cheaper = sum(w["cheaper_than_fixed"] for w in per_workload.values())
+    artifact = {
+        "workloads": SAMPLING_WORKLOADS,
+        "instructions": SAMPLING_INSTRUCTIONS,
+        "skip": SAMPLING_SKIP,
+        "fixed_records": fixed_records,
+        "per_workload": per_workload,
+        "cells_inside": cells_inside,
+        "cells_total": cells_total,
+        "cheaper_than_fixed": cheaper,
+        "min_cheaper": ADAPTIVE_MIN_CHEAPER,
+    }
+    _update_artifact("adaptive", artifact)
+
+    rows.append(["cheaper than fixed k=8", "", "", "", "", "",
+                 "", f"{cheaper}/{len(SAMPLING_WORKLOADS)} "
+                 f"(gate: {ADAPTIVE_MIN_CHEAPER})"])
+    report(f"Adaptive sampling vs full-budget goldens "
+           f"(artifact: {ARTIFACT.name})",
+           render_table(["workload", "config", "full CPI", "sampled",
+                         "95% CI", "inside", "regions", "records"], rows))
+
+    assert cells_inside == cells_total, \
+        f"only {cells_inside}/{cells_total} cells contained the " \
+        f"full-budget CPI inside their reported 95% CI"
+    assert cheaper >= ADAPTIVE_MIN_CHEAPER, \
+        f"adaptive simulated fewer records than the fixed " \
+        f"{DEFAULT_REGIONS}-region plan on only {cheaper} of " \
+        f"{len(SAMPLING_WORKLOADS)} workloads " \
+        f"(gate: {ADAPTIVE_MIN_CHEAPER})"

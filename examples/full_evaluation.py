@@ -15,7 +15,8 @@ Usage::
 import sys
 import time
 
-from repro import ProcessorConfig, run_workload, spec2006_profiles
+from repro import spec2006_profiles
+from repro.api import ProcessorConfig, run_workload
 from repro.analysis import geometric_mean, render_table
 
 

@@ -18,7 +18,8 @@ Usage::
 
 import sys
 
-from repro import ProcessorConfig, PubsConfig, run_workload
+from repro import PubsConfig
+from repro.api import ProcessorConfig, run_workload
 from repro.analysis import render_table
 
 

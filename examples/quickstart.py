@@ -13,7 +13,7 @@ Usage::
 
 import sys
 
-from repro import ProcessorConfig, run_pair
+from repro.api import ProcessorConfig, run_pair
 from repro.analysis import render_table
 
 

@@ -15,7 +15,7 @@ Usage::
 
 import sys
 
-from repro import ProcessorConfig, run_pair
+from repro.api import ProcessorConfig, run_pair
 from repro.analysis import characterize_window, render_table
 from repro.workloads import build_program, get_profile
 

@@ -25,6 +25,7 @@ Quick start::
 
 from .analysis import (
     PairedRun,
+    WorkloadRun,
     dbp_workloads,
     geometric_mean,
     run_pair,
@@ -33,6 +34,7 @@ from .analysis import (
     speedup,
     speedup_percent,
 )
+from .api import RunRequest, sample_workload
 from .core import (
     Pipeline,
     ProcessorConfig,
@@ -51,7 +53,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "PairedRun",
+    "RunRequest",
+    "WorkloadRun",
     "dbp_workloads",
+    "sample_workload",
     "geometric_mean",
     "run_pair",
     "run_suite",

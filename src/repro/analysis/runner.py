@@ -12,6 +12,16 @@ for batched calls like :func:`run_suite` -- parallel fan-out across worker
 processes.  Determinism is unaffected: a cached or parallel run returns
 stats identical to a fresh serial run (seeded generators, independent jobs).
 
+**Sampling modes.**  Every entry point accepts a ``sampling`` mode (or a
+whole :class:`~repro.core.config.RunRequest`): ``"off"`` (default)
+simulates the entire timed span as before; ``"fixed"`` estimates it from
+a fixed SimPoint representative set; ``"adaptive"`` escalates
+representatives until the CI target (:mod:`repro.sampling.adaptive`).
+Sampled cells come back as :class:`WorkloadRun` estimates with CI
+annotations; when a workload cannot be trace-sampled the cell falls back
+to a full simulation and says so in
+:attr:`WorkloadRun.fallback_reason` -- never silently.
+
 **Instruction budgets (single source of truth).**  Two budget pairs exist,
 both defined here and nowhere else:
 
@@ -32,15 +42,20 @@ disagreed with both -- reconciled here.)
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Mapping, Optional, Tuple
 
-from ..core.config import ProcessorConfig
+from ..core.config import ProcessorConfig, RunRequest
 from ..core.simulator import SimulationResult, simulate
 from ..exec import SimJob, SweepExecutor
+from ..trace.format import TraceFormatError
 from ..workloads.generator import build_program
 from ..workloads.profiles import WorkloadProfile, get_profile, spec2006_profiles
+
+if TYPE_CHECKING:  # repro.sampling imports this package; avoid the cycle
+    from ..sampling.run import SampledRun
 
 #: Library-default budgets for ad-hoc runs and the examples.
 DEFAULT_INSTRUCTIONS = 20_000
@@ -91,24 +106,126 @@ def _resolve_config(config: Optional[ProcessorConfig],
     return cfg.with_frontend(mode)
 
 
+def _merge_request(request: Optional[RunRequest], **explicit) -> RunRequest:
+    """Fold explicit keyword values over ``request`` and resolve the env.
+
+    The single precedence point for every entry point: explicit keyword
+    > request field > environment > library default (the defaults are
+    applied by the consumers, via :func:`_budget`).
+    """
+    return (request if request is not None
+            else RunRequest()).with_overrides(**explicit).resolved()
+
+
+def _budget(req: RunRequest) -> Tuple[int, int]:
+    """The request's (instructions, skip), library defaults filled in."""
+    return (DEFAULT_INSTRUCTIONS if req.instructions is None
+            else req.instructions,
+            DEFAULT_SKIP if req.skip is None else req.skip)
+
+
+@dataclass
+class WorkloadRun:
+    """One experiment cell: a full simulation or a sampled estimate.
+
+    Exactly one of ``full``/``sampled`` is set.  ``fallback_reason``
+    records why a sampling request fell back to a full simulation (the
+    trace could not be captured or parsed); it is never set on a
+    deliberate ``sampling="off"`` run.
+    """
+
+    workload: str
+    full: Optional[SimulationResult] = None
+    sampled: "Optional[SampledRun]" = None
+    fallback_reason: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if (self.full is None) == (self.sampled is None):
+            raise ValueError("exactly one of full/sampled must be set")
+
+    @property
+    def is_sampled(self) -> bool:
+        return self.sampled is not None
+
+    @property
+    def stats(self):
+        """The full run's :class:`~repro.core.stats.SimStats`.
+
+        A sampled cell has whole-span *estimates*, not counters; asking
+        it for stats is a bug, so this raises instead of guessing.
+        """
+        if self.full is None:
+            raise AttributeError(
+                "sampled cell carries estimates, not SimStats -- "
+                "use .cpi/.ipc/.cpi_ci95")
+        return self.full.stats
+
+    @property
+    def cpi(self) -> float:
+        if self.sampled is not None:
+            return self.sampled.cpi.point
+        return 1.0 / self.full.stats.ipc
+
+    @property
+    def ipc(self) -> float:
+        return 1.0 / self.cpi
+
+    @property
+    def cpi_ci95(self) -> Tuple[float, float]:
+        """~95% CI on CPI; (NaN, NaN) for a full (exact) simulation."""
+        if self.sampled is not None:
+            return self.sampled.cpi.ci95
+        return (math.nan, math.nan)
+
+    @property
+    def relative_ci(self) -> float:
+        """CI half-width / point; NaN for a full (exact) simulation."""
+        if self.sampled is not None:
+            return self.sampled.cpi.relative_error
+        return math.nan
+
+    @property
+    def simulated_records(self) -> int:
+        """Timed records actually simulated to produce this cell."""
+        if self.sampled is not None:
+            return self.sampled.simulated_records
+        return self.full.stats.committed
+
+
 def run_workload(
     workload: "str | WorkloadProfile",
     config: Optional[ProcessorConfig] = None,
-    instructions: int = DEFAULT_INSTRUCTIONS,
-    skip: int = DEFAULT_SKIP,
+    instructions: Optional[int] = None,
+    skip: Optional[int] = None,
     cache: Optional[bool] = None,
     frontend: Optional[str] = None,
-) -> SimulationResult:
+    jobs: Optional[int] = None,
+    sampling: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    request: Optional[RunRequest] = None,
+) -> "SimulationResult | WorkloadRun":
     """Simulate one named workload on one machine configuration.
 
     ``cache=None`` follows the environment policy (persistent cache on
     unless ``REPRO_CACHE=0``); ``cache=False`` forces a fresh simulation.
     ``frontend`` overrides the config's ``frontend_mode`` ("live" /
     "replay"); None defers to ``REPRO_FRONTEND``, then to the config.
+    ``sampling`` (None defers to ``REPRO_SAMPLING``, then "off") keeps
+    the classic full-span :class:`SimulationResult` when off; the
+    sampled modes return a :class:`WorkloadRun` estimate instead.
+    ``request`` supplies any of these as a bundled
+    :class:`~repro.core.config.RunRequest`; explicit keywords win.
     """
-    config = _resolve_config(config, frontend)
+    req = _merge_request(request, instructions=instructions, skip=skip,
+                         jobs=jobs, cache=cache, frontend=frontend,
+                         sampling=sampling, ci_target=ci_target)
+    if req.sampling != "off":
+        return _sampled_cell(workload, config, req,
+                             _executor_for(req.jobs, req.cache))
+    instructions, skip = _budget(req)
+    config = _resolve_config(config, req.frontend)
     job = SimJob.make(workload, config, instructions, skip)
-    if cache is False:
+    if req.cache is False:
         # Uncached fast path: no hashing, no disk.
         return simulate(
             build_program(job.profile),
@@ -117,73 +234,182 @@ def run_workload(
             skip_instructions=skip,
             mem_seed=job.profile.mem_seed,
         )
-    return _executor_for(None, cache).run_one(job)
+    return _executor_for(req.jobs, req.cache).run_one(job)
+
+
+def _sampled_cell(workload: "str | WorkloadProfile",
+                  config: Optional[ProcessorConfig],
+                  req: RunRequest,
+                  executor: SweepExecutor) -> WorkloadRun:
+    """One sampled cell, falling back to full simulation honestly.
+
+    Only trace-availability failures fall back -- the capture/load
+    errors ``OSError`` and :class:`~repro.trace.format.TraceFormatError`.
+    Anything else (bad parameters, simulator bugs) propagates.
+    """
+    from ..sampling.run import sample_workload  # runner <-> sampling cycle
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    cfg = _resolve_config(config, req.frontend)
+    instructions, skip = _budget(req)
+    try:
+        sampled = sample_workload(
+            profile, cfg, instructions=instructions, skip=skip,
+            strategy="adaptive" if req.sampling == "adaptive"
+            else "simpoint",
+            measure=req.measure, warmup=req.warmup, detail=req.detail,
+            regions=req.regions, max_fraction=req.max_fraction,
+            checkpoint_interval=req.checkpoint_interval,
+            ci_target=req.ci_target if req.sampling == "adaptive" else None,
+            executor=executor)
+        return WorkloadRun(profile.name, sampled=sampled)
+    except (OSError, TraceFormatError) as exc:
+        full = executor.run_one(SimJob(profile, cfg, instructions, skip))
+        return WorkloadRun(profile.name, full=full,
+                           fallback_reason=f"{type(exc).__name__}: {exc}")
 
 
 @dataclass
 class PairedRun:
-    """Base-vs-variant results for one workload (same dynamic stream)."""
+    """Base-vs-variant results for one workload (same dynamic stream).
+
+    Holds two :class:`WorkloadRun` cells; with sampling off both wrap
+    full simulations and the classic :attr:`base`/:attr:`variant`
+    results remain available, while sampled pairs carry CI-annotated
+    estimates and propagate their uncertainty into
+    :attr:`speedup_ci95`.
+    """
 
     name: str
-    base: SimulationResult
-    variant: SimulationResult
+    base_cell: WorkloadRun
+    variant_cell: WorkloadRun
+
+    @property
+    def base(self) -> Optional[SimulationResult]:
+        """Full base-machine result (None when the cell is sampled)."""
+        return self.base_cell.full
+
+    @property
+    def variant(self) -> Optional[SimulationResult]:
+        """Full variant result (None when the cell is sampled)."""
+        return self.variant_cell.full
 
     @property
     def speedup(self) -> float:
-        return self.variant.stats.ipc / self.base.stats.ipc
+        return self.variant_cell.ipc / self.base_cell.ipc
 
     @property
     def speedup_percent(self) -> float:
         return (self.speedup - 1.0) * 100.0
+
+    @property
+    def speedup_relative_ci(self) -> float:
+        """Relative ~95% half-width on the speedup; NaN when exact.
+
+        The two cells are estimated from disjoint region simulations, so
+        their relative errors combine in quadrature.  A full cell
+        contributes zero sampling error; a sampled cell whose own CI is
+        undefined (single region) makes the speedup CI NaN -- no claim.
+        """
+        rels = [cell.relative_ci
+                for cell in (self.base_cell, self.variant_cell)
+                if cell.is_sampled]
+        if not rels:
+            return math.nan
+        return math.sqrt(sum(r * r for r in rels))
+
+    @property
+    def speedup_ci95(self) -> Tuple[float, float]:
+        half = self.speedup * self.speedup_relative_ci
+        return (self.speedup - half, self.speedup + half)
 
 
 def run_pair(
     workload: "str | WorkloadProfile",
     base_config: ProcessorConfig,
     variant_config: ProcessorConfig,
-    instructions: int = DEFAULT_INSTRUCTIONS,
-    skip: int = DEFAULT_SKIP,
+    instructions: Optional[int] = None,
+    skip: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     frontend: Optional[str] = None,
+    sampling: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    request: Optional[RunRequest] = None,
 ) -> PairedRun:
-    """Run base and variant on the identical dynamic instruction stream."""
+    """Run base and variant on the identical dynamic instruction stream.
+
+    With a sampled mode both sides estimate from the *same* windows of
+    the same recorded trace (the plans derive from the trace alone, not
+    the machine), so the paired-stream property the full path guarantees
+    carries over to the sampled one.
+    """
+    req = _merge_request(request, instructions=instructions, skip=skip,
+                         jobs=jobs, cache=cache, frontend=frontend,
+                         sampling=sampling, ci_target=ci_target)
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    executor = _executor_for(jobs, cache)
+    executor = _executor_for(req.jobs, req.cache)
+    if req.sampling != "off":
+        return PairedRun(profile.name,
+                         _sampled_cell(profile, base_config, req, executor),
+                         _sampled_cell(profile, variant_config, req,
+                                       executor))
+    instructions, skip = _budget(req)
     base, variant = executor.run([
-        SimJob(profile, _resolve_config(base_config, frontend),
+        SimJob(profile, _resolve_config(base_config, req.frontend),
                instructions, skip),
-        SimJob(profile, _resolve_config(variant_config, frontend),
+        SimJob(profile, _resolve_config(variant_config, req.frontend),
                instructions, skip),
     ])
-    return PairedRun(profile.name, base, variant)
+    return PairedRun(profile.name,
+                     WorkloadRun(profile.name, full=base),
+                     WorkloadRun(profile.name, full=variant))
 
 
 def run_suite(
     configs: Mapping[str, ProcessorConfig],
     workloads: Optional[Iterable[str]] = None,
-    instructions: int = DEFAULT_INSTRUCTIONS,
-    skip: int = DEFAULT_SKIP,
+    instructions: Optional[int] = None,
+    skip: Optional[int] = None,
     jobs: Optional[int] = None,
     cache: Optional[bool] = None,
     frontend: Optional[str] = None,
-) -> Dict[str, Dict[str, SimulationResult]]:
+    sampling: Optional[str] = None,
+    ci_target: Optional[float] = None,
+    request: Optional[RunRequest] = None,
+    executor: Optional[SweepExecutor] = None,
+) -> "Dict[str, Dict[str, SimulationResult]] | Dict[str, Dict[str, WorkloadRun]]":
     """Run every (config, workload) pair.
 
-    Returns ``results[config_name][workload_name]``.  The whole cross
-    product is submitted as one batch, so with ``jobs > 1`` (or
-    ``REPRO_JOBS``) independent simulations run in parallel; results are
-    identical to the serial path.
+    Returns ``results[config_name][workload_name]``.  With sampling off
+    the values are plain :class:`SimulationResult`\\ s and the whole
+    cross product is submitted as one batch, so with ``jobs > 1`` (or
+    ``REPRO_JOBS``) independent simulations run in parallel.  The
+    sampled modes return :class:`WorkloadRun` cells instead -- each
+    workload's regions fan out through the (shared) executor, so
+    parallelism and the persistent cache still apply per batch.
+    ``executor`` overrides the executor used either way (e.g. to read
+    its cache stats afterwards).
     """
+    req = _merge_request(request, instructions=instructions, skip=skip,
+                         jobs=jobs, cache=cache, frontend=frontend,
+                         sampling=sampling, ci_target=ci_target)
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
     profiles = [get_profile(name) for name in names]
+    runner = executor if executor is not None \
+        else _executor_for(req.jobs, req.cache)
+    if req.sampling != "off":
+        return {config_name: {profile.name:
+                              _sampled_cell(profile, config, req, runner)
+                              for profile in profiles}
+                for config_name, config in configs.items()}
+    instructions, skip = _budget(req)
     batch = [
-        SimJob(profile, _resolve_config(config, frontend),
+        SimJob(profile, _resolve_config(config, req.frontend),
                instructions, skip)
         for config in configs.values()
         for profile in profiles
     ]
-    flat = _executor_for(jobs, cache).run(batch)
+    flat = runner.run(batch)
     results: Dict[str, Dict[str, SimulationResult]] = {}
     it = iter(flat)
     for config_name in configs:

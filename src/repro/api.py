@@ -1,0 +1,58 @@
+"""Stable high-level entry points: the one import for running things.
+
+Examples, the CLI and downstream scripts should import from here
+instead of deep module paths -- the deep layout (``repro.analysis.
+runner``, ``repro.sampling.run``, ...) is free to keep refactoring, and
+this facade is the surface that stays put.  Everything shares one
+keyword vocabulary:
+
+``jobs``
+    parallel worker processes (None -> ``REPRO_JOBS`` -> serial);
+``cache``
+    persistent result cache (None -> ``REPRO_CACHE`` policy);
+``frontend``
+    correct-path supply, ``"live"`` / ``"replay"``
+    (None -> ``REPRO_FRONTEND`` -> the config's own mode);
+``sampling``
+    ``"off"`` / ``"fixed"`` / ``"adaptive"``
+    (None -> ``REPRO_SAMPLING`` -> off);
+``request``
+    a :class:`RunRequest` bundling all of the above -- explicit
+    keywords override its fields, the environment fills what is left,
+    and library defaults apply last.
+
+Quick start::
+
+    from repro.api import RunRequest, run_suite
+
+    req = RunRequest(sampling="adaptive", ci_target=0.05)
+    table = run_suite({"base": base, "pubs": pubs}, ["mcf", "sjeng"],
+                      request=req)
+    cell = table["pubs"]["mcf"]          # a WorkloadRun estimate
+    print(cell.cpi, cell.cpi_ci95)
+"""
+
+from .analysis.runner import (
+    PairedRun,
+    WorkloadRun,
+    run_pair,
+    run_suite,
+    run_workload,
+)
+from .core.config import ProcessorConfig, RunRequest
+from .sampling.adaptive import AdaptiveRun, sample_workload_adaptive
+from .sampling.run import SampledRun, sample_workload
+
+__all__ = [
+    "AdaptiveRun",
+    "PairedRun",
+    "ProcessorConfig",
+    "RunRequest",
+    "SampledRun",
+    "WorkloadRun",
+    "run_pair",
+    "run_suite",
+    "run_workload",
+    "sample_workload",
+    "sample_workload_adaptive",
+]

@@ -11,7 +11,7 @@ Commands:
 * ``cache stats|clear``         -- persistent result-cache maintenance
 * ``verify [--workload W]``     -- differential-oracle + invariant check
 * ``trace record|info``         -- capture/inspect replay traces (§9)
-* ``sample [WORKLOADS]``        -- SimPoint-style sampled CPI estimate (§10)
+* ``sample [WORKLOADS]``        -- sampled CPI estimate (§10, §11)
 * ``profile WORKLOAD``          -- cProfile one run, print top hotspots
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
@@ -19,19 +19,35 @@ fans independent runs across worker processes, and results persist in the
 on-disk cache (``REPRO_CACHE_DIR``; ``--no-cache`` or ``REPRO_CACHE=0``
 disables it).  ``--frontend replay`` (or ``REPRO_FRONTEND=replay``) feeds
 the timing model from recorded traces instead of live functional execution
--- bit-identical results, much faster sweeps.
+-- bit-identical results, much faster sweeps.  ``--sampling fixed|adaptive``
+(or ``REPRO_SAMPLING``) estimates whole-span metrics from sampled regions
+instead of simulating everything, annotating every figure with its ~95% CI;
+``--sampling adaptive`` keeps adding regions until the CI half-width falls
+below ``--ci-target`` (or ``REPRO_CI_TARGET``).  These shared flags follow
+one precedence everywhere: explicit flag > environment > default.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 from typing import List, Optional
 
-from .analysis import geometric_mean, render_table, run_pair, run_workload
+from .analysis import geometric_mean, render_table
+from .api import (
+    AdaptiveRun,
+    RunRequest,
+    WorkloadRun,
+    run_pair,
+    run_suite,
+    run_workload,
+    sample_workload,
+)
 from .core import ProcessorConfig
-from .exec import CACHE_SCHEMA_VERSION, ResultCache, SimJob, SweepExecutor
+from .core.stats import D_BP_BRANCH_MPKI_THRESHOLD
+from .exec import CACHE_SCHEMA_VERSION, ResultCache, SweepExecutor
 from .pubs import PubsConfig, pubs_hardware_cost
 from .verify import InvariantViolation
 from .workloads import build_program, get_profile, spec2006_profiles
@@ -70,11 +86,38 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="IQ organization (Sec. III-B1)")
     parser.add_argument("--distributed", action="store_true",
                         help="distribute the IQ per FU class (Sec. III-C2)")
-    parser.add_argument("--frontend", default=None,
+
+
+def _shared_parent() -> argparse.ArgumentParser:
+    """The execution flags every simulating subcommand shares.
+
+    One parent parser instead of per-command copies, so run / compare /
+    suite / sample / verify / profile stay flag-compatible and the
+    flag > environment > default precedence is implemented (and tested)
+    exactly once, in :func:`_request_from_args` + ``RunRequest``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: REPRO_JOBS or the CPU count)")
+    parent.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    parent.add_argument("--frontend", default=None,
                         choices=["live", "replay"],
                         help="correct-path supply: live functional "
                              "execution or trace replay (default: "
                              "REPRO_FRONTEND, else live)")
+    parent.add_argument("--sampling", default=None,
+                        choices=["off", "fixed", "adaptive"],
+                        help="estimate from sampled regions instead of "
+                             "simulating the whole span (default: "
+                             "REPRO_SAMPLING, else off)")
+    parent.add_argument("--ci-target", type=float, default=None,
+                        metavar="FRAC",
+                        help="relative CI half-width adaptive sampling "
+                             "drives toward (default: REPRO_CI_TARGET, "
+                             "else 0.05)")
+    return parent
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
@@ -84,17 +127,67 @@ def _add_budget_args(parser: argparse.ArgumentParser) -> None:
                         help="instructions fast-forwarded for warm-up")
 
 
-def _add_exec_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes for independent simulations "
-                             "(default: REPRO_JOBS or the CPU count)")
-    parser.add_argument("--no-cache", action="store_true",
-                        help="bypass the persistent result cache")
-
-
 def _cache_flag(args) -> Optional[bool]:
     """Map --no-cache onto the executor's cache policy argument."""
     return False if args.no_cache else None
+
+
+def _request_from_args(args) -> RunRequest:
+    """One :class:`RunRequest` from whatever flags the command carries.
+
+    Unset flags stay None, so the request's :meth:`~repro.core.config.
+    RunRequest.resolved` step (inside the runner) lets the environment
+    fill them and the library defaults apply last -- the flag > env >
+    default precedence, in one place for every subcommand.
+    """
+    return RunRequest(
+        instructions=getattr(args, "instructions", None),
+        skip=getattr(args, "skip", None),
+        jobs=getattr(args, "jobs", None),
+        cache=False if getattr(args, "no_cache", False) else None,
+        frontend=getattr(args, "frontend", None),
+        sampling=getattr(args, "sampling", None),
+        ci_target=getattr(args, "ci_target", None),
+        regions=getattr(args, "regions", None),
+        measure=getattr(args, "measure", None),
+        warmup=getattr(args, "warmup", None),
+        detail=getattr(args, "detail", None),
+        max_fraction=getattr(args, "fraction", None),
+    )
+
+
+def _pct(value: float) -> str:
+    """Render a relative quantity, NaN as ``n/a`` (no claim)."""
+    return "n/a" if math.isnan(value) else f"{value:.2%}"
+
+
+def _estimate_ci(estimate) -> str:
+    """Render a SampledEstimate's ~95% interval, NaN as ``n/a``."""
+    half = estimate.ci_halfwidth
+    return "n/a" if math.isnan(half) else f"+/-{half:.4f}"
+
+
+def _cell_mpki(cell: WorkloadRun) -> "tuple[float, float]":
+    """(branch MPKI, LLC MPKI) of a cell, weighted for sampled ones."""
+    if cell.sampled is not None:
+        from .sampling import weighted_ratio
+        weights = [r.weight for r in cell.sampled.plan.regions]
+        return (
+            weighted_ratio(cell.sampled.results, weights,
+                           lambda r: r.stats.mispredictions,
+                           lambda r: r.stats.committed, 1000.0),
+            weighted_ratio(cell.sampled.results, weights,
+                           lambda r: r.stats.llc_misses,
+                           lambda r: r.stats.committed, 1000.0),
+        )
+    return cell.stats.branch_mpki, cell.stats.llc_mpki
+
+
+def _note_fallback(cell: WorkloadRun, label: str = "") -> None:
+    if cell.fallback_reason:
+        where = f" for {label}" if label else ""
+        print(f"  note: sampling fell back to full simulation{where} "
+              f"({cell.fallback_reason})", file=sys.stderr)
 
 
 def _cmd_list(args) -> int:
@@ -110,10 +203,13 @@ def _cmd_list(args) -> int:
 
 def _cmd_run(args) -> int:
     config = _machine_from_args(args)
-    # frontend=args.frontend: an explicit --frontend wins over the
-    # REPRO_FRONTEND environment fallback inside the runner.
-    result = run_workload(args.workload, config, args.instructions, args.skip,
-                          cache=_cache_flag(args), frontend=args.frontend)
+    result = run_workload(args.workload, config,
+                          request=_request_from_args(args))
+    if isinstance(result, WorkloadRun):
+        if result.sampled is not None:
+            return _print_sampled_run(result)
+        _note_fallback(result)
+        result = result.full
     print(result.summary())
     s = result.stats
     print(render_table(["metric", "value"], [
@@ -130,14 +226,57 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _print_sampled_run(cell: WorkloadRun) -> int:
+    run = cell.sampled
+    rows = [
+        ["sampled CPI", f"{run.cpi.point:.4f}"],
+        ["95% CI", _estimate_ci(run.cpi)],
+        ["relative CI", _pct(run.cpi.relative_error)],
+        ["regions", str(len(run.results))],
+        ["coverage", f"{run.coverage:.1%}"],
+        ["misspec penalty/branch", f"{run.misspec_penalty.point:.1f} cycles"],
+    ]
+    if isinstance(run, AdaptiveRun):
+        rows += [
+            ["CI target", _pct(run.ci_target)],
+            ["converged", "yes" if run.converged else
+             "no (region cap / nothing left to split)"],
+            ["rounds", " -> ".join(
+                f"{r.regions}:{_pct(r.relative_ci)}" for r in run.rounds)],
+        ]
+    print(render_table(["metric", "value"], rows))
+    return 0
+
+
 def _cmd_compare(args) -> int:
     base = ProcessorConfig.cortex_a72_like()
     variant = _machine_from_args(args)
     if variant == base:  # default comparison is against PUBS
         variant = base.with_pubs()
-    pair = run_pair(args.workload, base, variant, args.instructions, args.skip,
-                    jobs=args.jobs, cache=_cache_flag(args),
-                    frontend=args.frontend)
+    pair = run_pair(args.workload, base, variant,
+                    request=_request_from_args(args))
+    bc, vc = pair.base_cell, pair.variant_cell
+    if bc.is_sampled or vc.is_sampled or bc.fallback_reason \
+            or vc.fallback_reason:
+        _note_fallback(bc, "base")
+        _note_fallback(vc, "variant")
+        print(render_table(["metric", "base", "variant"], [
+            ["CPI", f"{bc.cpi:.4f}", f"{vc.cpi:.4f}"],
+            ["95% CI",
+             _estimate_ci(bc.sampled.cpi) if bc.is_sampled else "exact",
+             _estimate_ci(vc.sampled.cpi) if vc.is_sampled else "exact"],
+            ["regions",
+             str(len(bc.sampled.results)) if bc.is_sampled else "full",
+             str(len(vc.sampled.results)) if vc.is_sampled else "full"],
+        ]))
+        rel = pair.speedup_relative_ci
+        if math.isnan(rel):
+            print(f"\nspeedup: {pair.speedup_percent:+.2f}% (95% CI n/a)")
+        else:
+            lo, hi = pair.speedup_ci95
+            print(f"\nspeedup: {pair.speedup_percent:+.2f}% "
+                  f"(95% CI {(lo - 1) * 100:+.2f}% .. {(hi - 1) * 100:+.2f}%)")
+        return 0
     b, v = pair.base.stats, pair.variant.stats
     print(render_table(["metric", "base", "variant"], [
         ["IPC", f"{b.ipc:.3f}", f"{v.ipc:.3f}"],
@@ -155,32 +294,46 @@ def _cmd_suite(args) -> int:
     variant = _machine_from_args(args)
     if variant == base:
         variant = base.with_pubs()
-    frontend = args.frontend or os.environ.get("REPRO_FRONTEND")
-    if frontend:
-        base = base.with_frontend(frontend)
-        variant = variant.with_frontend(frontend)
     names = args.workloads or sorted(spec2006_profiles())
-    # One batch for the whole sweep: the executor dedupes, serves warm
-    # results from the persistent cache, and fans misses over --jobs.
+    # One executor for the whole sweep: it dedupes, serves warm results
+    # from the persistent cache, and fans misses over --jobs -- and its
+    # hit/miss summary below covers every cell, sampled or not.
     executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args))
-    batch = [SimJob.make(name, cfg, args.instructions, args.skip)
-             for name in names for cfg in (base, variant)]
-    results = executor.run(batch)
+    results = run_suite({"base": base, "variant": variant}, names,
+                        request=_request_from_args(args), executor=executor)
+    sampled_mode = any(isinstance(cell, WorkloadRun)
+                       for cell in results["base"].values())
     rows = []
     dbp_ratios, ebp_ratios = [], []
-    for i, name in enumerate(names):
-        base_r, variant_r = results[2 * i], results[2 * i + 1]
-        speedup = variant_r.stats.ipc / base_r.stats.ipc
-        dbp = base_r.stats.is_difficult_branch_prediction
+    for name in names:
+        base_r, variant_r = results["base"][name], results["variant"][name]
+        if sampled_mode:
+            _note_fallback(base_r, f"{name} base")
+            _note_fallback(variant_r, f"{name} variant")
+            speedup = variant_r.ipc / base_r.ipc
+            branch_mpki, llc_mpki = _cell_mpki(base_r)
+            rels = [c.relative_ci for c in (base_r, variant_r)
+                    if c.is_sampled]
+            ci_txt = "exact" if not rels else _pct(
+                math.sqrt(sum(r * r for r in rels)))
+        else:
+            speedup = variant_r.stats.ipc / base_r.stats.ipc
+            branch_mpki = base_r.stats.branch_mpki
+            llc_mpki = base_r.stats.llc_mpki
+        dbp = branch_mpki >= D_BP_BRANCH_MPKI_THRESHOLD
         (dbp_ratios if dbp else ebp_ratios).append(speedup)
-        rows.append([name, "D-BP" if dbp else "E-BP",
-                     base_r.stats.branch_mpki, base_r.stats.llc_mpki,
-                     (speedup - 1.0) * 100.0])
+        row = [name, "D-BP" if dbp else "E-BP", branch_mpki, llc_mpki,
+               (speedup - 1.0) * 100.0]
+        if sampled_mode:
+            row.append(ci_txt)
+        rows.append(row)
         print(f"  {name}: {(speedup - 1.0) * 100.0:+.2f}%", file=sys.stderr)
     print(f"  [{executor.summary()}]", file=sys.stderr)
     rows.sort(key=lambda r: (r[1], -r[2]))
-    print(render_table(
-        ["workload", "set", "branch MPKI", "LLC MPKI", "speedup %"], rows))
+    header = ["workload", "set", "branch MPKI", "LLC MPKI", "speedup %"]
+    if sampled_mode:
+        header.append("95% CI")
+    print(render_table(header, rows))
     if dbp_ratios:
         print(f"\nGM D-BP: {(geometric_mean(dbp_ratios) - 1) * 100:+.2f}%")
     if ebp_ratios:
@@ -216,7 +369,21 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _reject_sampling(args, command: str, why: str) -> bool:
+    """True (and an error message) when a sampled mode was requested."""
+    mode = args.sampling or os.environ.get("REPRO_SAMPLING")
+    if mode and mode != "off":
+        print(f"error: {command} {why}; --sampling must be off",
+              file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_verify(args) -> int:
+    if _reject_sampling(args, "verify",
+                        "checks the full timing model -- a sampled "
+                        "estimate proves nothing about uncovered records"):
+        return 2
     config = _machine_from_args(args).with_verification(
         level=args.level, interval=args.interval)
     names = [args.workload] if args.workload else sorted(spec2006_profiles())
@@ -225,7 +392,8 @@ def _cmd_verify(args) -> int:
         try:
             # Always a fresh simulation: a cached result proves nothing.
             result = run_workload(name, config, args.instructions, args.skip,
-                                  cache=False, frontend=args.frontend)
+                                  cache=False, frontend=args.frontend,
+                                  sampling="off")
         except InvariantViolation as exc:
             failures += 1
             print(f"FAIL {name}")
@@ -280,8 +448,18 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_sample(args) -> int:
-    from .sampling import CPI_ERROR_GATE, sample_workload, \
-        sampled_vs_full_error
+    from .sampling import CPI_ERROR_GATE, sampled_vs_full_error
+    strategy = args.strategy
+    # The sample command always samples; its --sampling flag only picks
+    # the scheduler family (fixed -> simpoint, adaptive -> escalation).
+    if args.sampling == "off":
+        print("error: the sample command always samples; use 'run' for a "
+              "full simulation", file=sys.stderr)
+        return 2
+    if args.sampling == "adaptive":
+        strategy = "adaptive"
+    elif args.sampling == "fixed" and strategy == "adaptive":
+        strategy = "simpoint"
     config = _machine_from_args(args)
     names = args.workloads or sorted(spec2006_profiles())
     rows = []
@@ -290,25 +468,33 @@ def _cmd_sample(args) -> int:
         run = sample_workload(
             name, config,
             instructions=args.instructions, skip=args.skip,
-            strategy=args.strategy, measure=args.measure,
+            strategy=strategy, measure=args.measure,
             warmup=args.warmup, detail=args.detail, regions=args.regions,
             max_fraction=args.fraction,
             checkpoint_interval=args.interval,
+            ci_target=args.ci_target if strategy == "adaptive" else None,
             jobs=args.jobs, cache=_cache_flag(args))
-        row = [name, f"{run.cpi.point:.4f}", f"{run.cpi.stderr:.4f}",
+        if isinstance(run, AdaptiveRun):
+            marks = " -> ".join(f"{r.regions}:{_pct(r.relative_ci)}"
+                                for r in run.rounds)
+            state = "converged" if run.converged else "cap"
+            print(f"  {name}: {marks} ({state})", file=sys.stderr)
+        row = [name, f"{run.cpi.point:.4f}", _estimate_ci(run.cpi),
+               _pct(run.cpi.relative_error),
                str(len(run.results)), f"{run.coverage:.1%}",
                f"{run.misspec_penalty.point:.1f}"]
         if args.check_full:
             full = run_workload(name, config, args.instructions, args.skip,
-                                cache=_cache_flag(args), frontend="replay")
+                                cache=_cache_flag(args), frontend="replay",
+                                sampling="off")
             error = sampled_vs_full_error(run, full)
             ok = error <= CPI_ERROR_GATE
             failures += not ok
             row += [f"{full.stats.cycles / full.stats.committed:.4f}",
                     f"{error:.2%}", "ok" if ok else "FAIL"]
         rows.append(row)
-    header = ["workload", "sampled CPI", "stderr", "regions", "coverage",
-              "misspec/br"]
+    header = ["workload", "sampled CPI", "95% CI", "rel CI", "regions",
+              "coverage", "misspec/br"]
     if args.check_full:
         header += ["full CPI", "error", f"gate {CPI_ERROR_GATE:.0%}"]
     print(render_table(header, rows))
@@ -323,13 +509,18 @@ def _cmd_profile(args) -> int:
     import cProfile
     import pstats
 
+    if _reject_sampling(args, "profile",
+                        "measures the simulator hot path -- a sampled "
+                        "run would profile the executor instead"):
+        return 2
     config = _machine_from_args(args)
     profiler = cProfile.Profile()
     profiler.enable()
     # cache=False: profiling a cache hit would measure pickle, not the
     # simulator.
     result = run_workload(args.workload, config, args.instructions,
-                          args.skip, cache=False, frontend=args.frontend)
+                          args.skip, cache=False, frontend=args.frontend,
+                          sampling="off")
     profiler.disable()
     print(result.summary())
     print(f"\nTop {args.top} functions by cumulative time:")
@@ -345,26 +536,27 @@ def build_parser() -> argparse.ArgumentParser:
                     "the paper's machines",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    shared = [_shared_parent()]
 
     sub.add_parser("list", help="list available workloads")
 
-    p_run = sub.add_parser("run", help="simulate one workload")
+    p_run = sub.add_parser("run", help="simulate one workload",
+                           parents=shared)
     p_run.add_argument("workload")
     _add_machine_args(p_run)
     _add_budget_args(p_run)
-    _add_exec_args(p_run)
 
-    p_cmp = sub.add_parser("compare", help="base vs variant on one workload")
+    p_cmp = sub.add_parser("compare", help="base vs variant on one workload",
+                           parents=shared)
     p_cmp.add_argument("workload")
     _add_machine_args(p_cmp)
     _add_budget_args(p_cmp)
-    _add_exec_args(p_cmp)
 
-    p_suite = sub.add_parser("suite", help="sweep many workloads (Fig. 8)")
+    p_suite = sub.add_parser("suite", help="sweep many workloads (Fig. 8)",
+                             parents=shared)
     p_suite.add_argument("--workloads", nargs="*", default=None)
     _add_machine_args(p_suite)
     _add_budget_args(p_suite)
-    _add_exec_args(p_suite)
 
     sub.add_parser("cost", help="print the Table III hardware cost")
 
@@ -379,7 +571,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ver = sub.add_parser(
         "verify",
-        help="run the differential oracle + invariant checks on workloads")
+        help="run the differential oracle + invariant checks on workloads",
+        parents=shared)
     p_ver.add_argument("--workload", default=None,
                        help="verify one workload (default: all of them)")
     p_ver.add_argument("--level", default="full",
@@ -411,7 +604,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_smp = sub.add_parser(
         "sample",
-        help="estimate whole-run CPI from sampled regions (DESIGN.md §10)")
+        help="estimate whole-run CPI from sampled regions (DESIGN.md §10)",
+        parents=shared)
     p_smp.add_argument("workloads", nargs="*", default=None,
                        help="workloads to sample (default: all of them)")
     p_smp.add_argument("-n", "--instructions", type=int, default=60_000,
@@ -419,9 +613,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_smp.add_argument("--skip", type=int, default=2_000,
                        help="instructions before the timed span")
     p_smp.add_argument("--strategy", default="simpoint",
-                       choices=["simpoint", "systematic"],
-                       help="region scheduler: clustered representatives "
-                            "or evenly spaced windows")
+                       choices=["simpoint", "systematic", "adaptive"],
+                       help="region scheduler: clustered representatives, "
+                            "evenly spaced windows, or variance-driven "
+                            "escalation (DESIGN.md §11)")
     p_smp.add_argument("--measure", type=int, default=None,
                        help="timed records per region (default: 1024)")
     p_smp.add_argument("--warmup", type=int, default=None,
@@ -431,7 +626,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="timed-but-discarded warm records per region "
                             "(default: measure/4)")
     p_smp.add_argument("--regions", type=int, default=None,
-                       help="cap on simpoint representatives (default: 8)")
+                       help="cap on representatives (default: 8 simpoint, "
+                            "16 adaptive)")
     p_smp.add_argument("--fraction", type=float, default=None,
                        help="max fraction of the span simulated "
                             "(default: 1/3)")
@@ -441,10 +637,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also run the full span and gate the sampled "
                             "CPI at 3%% relative error")
     _add_machine_args(p_smp)
-    _add_exec_args(p_smp)
 
     p_prof = sub.add_parser(
-        "profile", help="profile one simulation run with cProfile")
+        "profile", help="profile one simulation run with cProfile",
+        parents=shared)
     p_prof.add_argument("workload")
     p_prof.add_argument("--top", type=int, default=25,
                         help="number of hotspot functions to print")

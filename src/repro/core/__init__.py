@@ -1,6 +1,7 @@
 """Cycle-level out-of-order core: configuration, pipeline, simulation API."""
 
-from .config import PredictorConfig, ProcessorConfig, size_models
+from .config import (PredictorConfig, ProcessorConfig, RunRequest,
+                     size_models)
 from .lsq import LoadStoreQueue
 from .pipeline import DeadlockError, Pipeline, build_predictor
 from .rename import RenameError, Renamer
@@ -16,6 +17,7 @@ from .uop import NEVER, Uop
 __all__ = [
     "PredictorConfig",
     "ProcessorConfig",
+    "RunRequest",
     "size_models",
     "LoadStoreQueue",
     "DeadlockError",

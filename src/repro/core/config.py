@@ -15,6 +15,7 @@ processor size.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
@@ -208,6 +209,111 @@ class ProcessorConfig:
 
     def with_overrides(self, **kwargs) -> "ProcessorConfig":
         return replace(self, **kwargs)
+
+
+#: Recognised :attr:`RunRequest.sampling` modes: ``"off"`` simulates the
+#: whole timed span, ``"fixed"`` samples a fixed SimPoint representative
+#: set, ``"adaptive"`` escalates representatives until the CI target.
+SAMPLING_MODES = ("off", "fixed", "adaptive")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """How to run an experiment, separate from *what machine* runs it.
+
+    :class:`ProcessorConfig` describes the simulated processor;
+    ``RunRequest`` carries everything about the run itself -- budgets,
+    execution policy (worker count, result cache, frontend) and the
+    sampling mode -- so the high-level entry points
+    (:mod:`repro.api`) share one plan object instead of re-growing the
+    same keyword list.
+
+    Every field defaults to ``None`` = *unset*: :meth:`resolved` fills
+    unset execution fields from the environment, and the runner applies
+    the library defaults last, giving the precedence **explicit value >
+    environment > default** everywhere.  ``jobs`` and ``cache`` stay
+    ``None`` through resolution when unset -- the executor layer already
+    owns their ``REPRO_JOBS`` / ``REPRO_CACHE`` policy.
+    """
+
+    #: Timed instruction budget (None -> the caller's library default).
+    instructions: Optional[int] = None
+    #: Functional fast-forward before timing starts.
+    skip: Optional[int] = None
+    #: Parallel worker processes (None -> ``REPRO_JOBS`` -> serial).
+    jobs: Optional[int] = None
+    #: Persistent result cache (None -> ``REPRO_CACHE`` policy).
+    cache: Optional[bool] = None
+    #: Correct-path supply, "live"/"replay" (None -> ``REPRO_FRONTEND``).
+    frontend: Optional[str] = None
+    #: One of :data:`SAMPLING_MODES` (None -> ``REPRO_SAMPLING`` -> off).
+    sampling: Optional[str] = None
+    #: Relative CI half-width adaptive sampling drives toward
+    #: (None -> ``REPRO_CI_TARGET`` -> the adaptive default).
+    ci_target: Optional[float] = None
+    #: Region-count cap for the sampled modes.
+    regions: Optional[int] = None
+    #: Measured records per sampled window.
+    measure: Optional[int] = None
+    #: Functional-warmup records per sampled window.
+    warmup: Optional[int] = None
+    #: Detailed-warmup records per sampled window.
+    detail: Optional[int] = None
+    #: Cap on the fraction of the span the sampled modes may simulate.
+    max_fraction: Optional[float] = None
+    #: Trace checkpoint spacing for sampled replays.
+    checkpoint_interval: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sampling is not None and self.sampling not in SAMPLING_MODES:
+            raise ValueError(
+                f"unknown sampling mode: {self.sampling!r} "
+                f"(expected one of {', '.join(SAMPLING_MODES)})")
+        if self.frontend is not None and self.frontend not in ("live",
+                                                               "replay"):
+            raise ValueError(f"unknown frontend mode: {self.frontend!r}")
+        if self.ci_target is not None:
+            if self.ci_target <= 0:
+                raise ValueError("ci_target must be positive")
+            if self.sampling is not None and self.sampling != "adaptive":
+                raise ValueError(
+                    "ci_target applies to adaptive sampling only")
+        for n in ("instructions", "jobs", "regions", "measure"):
+            value = getattr(self, n)
+            if value is not None and value < 1:
+                raise ValueError(f"{n} must be positive")
+        for n in ("skip", "warmup", "detail"):
+            value = getattr(self, n)
+            if value is not None and value < 0:
+                raise ValueError(f"{n} must be non-negative")
+        if self.max_fraction is not None and not 0 < self.max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
+        if self.checkpoint_interval is not None \
+                and self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
+
+    def resolved(self) -> "RunRequest":
+        """This request with unset fields filled from the environment.
+
+        Reads ``REPRO_SAMPLING`` and ``REPRO_CI_TARGET`` (per call, so
+        tests and benches can flip them); explicit field values always
+        win.  The returned request re-validates, so e.g. an environment
+        sampling mode of ``off`` combined with an explicit ``ci_target``
+        fails here instead of being silently ignored.
+        """
+        updates = {}
+        if self.sampling is None:
+            updates["sampling"] = os.environ.get("REPRO_SAMPLING") or "off"
+        if self.ci_target is None:
+            raw = os.environ.get("REPRO_CI_TARGET")
+            if raw:
+                updates["ci_target"] = float(raw)
+        return replace(self, **updates) if updates else self
+
+    def with_overrides(self, **kwargs) -> "RunRequest":
+        """A copy with the given fields replaced (None leaves a field)."""
+        changed = {k: v for k, v in kwargs.items() if v is not None}
+        return replace(self, **changed) if changed else self
 
 
 def size_models() -> Dict[str, ProcessorConfig]:

@@ -12,16 +12,31 @@ See DESIGN.md §10.  Public surface:
 * :func:`~repro.sampling.run.sample_workload` /
   :class:`~repro.sampling.run.SampledRun` -- fan the windows out as
   independently cached exec jobs and aggregate;
+* :func:`~repro.sampling.adaptive.sample_workload_adaptive` /
+  :class:`~repro.sampling.adaptive.AdaptiveRun` -- variance-driven
+  escalation: start from a small representative set and split clusters
+  until the CI half-width meets ``ci_target`` or the region cap;
 * :class:`~repro.sampling.aggregate.SampledEstimate` -- weighted
   whole-span point estimate with per-region spread (reuses
   :class:`~repro.analysis.robustness.SweepSummary`'s n>=2 honesty rule).
 """
 
+from .adaptive import (
+    DEFAULT_ADAPTIVE_CAP,
+    DEFAULT_BATCH,
+    DEFAULT_CI_TARGET,
+    DEFAULT_START_REGIONS,
+    AdaptiveRound,
+    AdaptiveRun,
+    sample_workload_adaptive,
+)
 from .aggregate import (
+    CI_RELATIVE_FLOOR,
     CI_Z,
     SampledEstimate,
     estimate_cpi,
     estimate_misspec_penalty,
+    weighted_ratio,
 )
 from .regions import (
     DEFAULT_DETAIL,
@@ -37,24 +52,39 @@ from .regions import (
 from .run import (
     CPI_ERROR_GATE,
     SampledRun,
+    acquire_span_trace,
     region_jobs,
     sample_workload,
     sampled_vs_full_error,
 )
-from .signature import cluster_windows, signature_distance, window_signature
+from .signature import (
+    assign_windows,
+    cluster_windows,
+    signature_distance,
+    window_signature,
+)
 
 __all__ = [
+    "CI_RELATIVE_FLOOR",
     "CI_Z",
     "CPI_ERROR_GATE",
+    "DEFAULT_ADAPTIVE_CAP",
+    "DEFAULT_BATCH",
+    "DEFAULT_CI_TARGET",
     "DEFAULT_DETAIL",
     "DEFAULT_MAX_FRACTION",
     "DEFAULT_MEASURE",
     "DEFAULT_REGIONS",
+    "DEFAULT_START_REGIONS",
     "DEFAULT_WARMUP",
+    "AdaptiveRound",
+    "AdaptiveRun",
     "Region",
     "RegionPlan",
     "SampledEstimate",
     "SampledRun",
+    "acquire_span_trace",
+    "assign_windows",
     "cluster_windows",
     "estimate_cpi",
     "estimate_misspec_penalty",
@@ -62,7 +92,9 @@ __all__ = [
     "plan_representative_regions",
     "region_jobs",
     "sample_workload",
+    "sample_workload_adaptive",
     "sampled_vs_full_error",
     "signature_distance",
+    "weighted_ratio",
     "window_signature",
 ]

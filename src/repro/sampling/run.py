@@ -80,6 +80,26 @@ def region_jobs(workload: Union[str, WorkloadProfile],
             for r in plan.regions]
 
 
+def acquire_span_trace(profile: WorkloadProfile, instructions: int,
+                       skip: int, checkpoint_interval: Optional[int] = None,
+                       store: Optional[TraceStore] = None):
+    """Capture (or load) the trace covering one sampled span.
+
+    Acquisition happens once, up front, before any region jobs fan out:
+    the planners read the trace, and pool workers then find it on disk
+    instead of re-recording (the store's cross-process claim makes even
+    a cold parallel start record it exactly once).  The capture covers
+    the whole span plus the replay margin, so every schedulable region
+    replays from it.
+    """
+    trace_store = store if store is not None else shared_store()
+    program = build_program(profile)
+    return trace_store.acquire(
+        program, profile.mem_seed, skip + instructions + REPLAY_MARGIN,
+        **({"checkpoint_interval": checkpoint_interval}
+           if checkpoint_interval is not None else {}))
+
+
 def sample_workload(workload: Union[str, WorkloadProfile],
                     config: Optional[ProcessorConfig] = None,
                     instructions: int = 20_000,
@@ -91,6 +111,7 @@ def sample_workload(workload: Union[str, WorkloadProfile],
                     regions: Optional[int] = None,
                     max_fraction: Optional[float] = None,
                     checkpoint_interval: Optional[int] = None,
+                    ci_target: Optional[float] = None,
                     executor: Optional[SweepExecutor] = None,
                     jobs: Optional[int] = None,
                     cache: "Optional[bool]" = None,
@@ -102,14 +123,32 @@ def sample_workload(workload: Union[str, WorkloadProfile],
     ``strategy`` picks the scheduler: ``"simpoint"`` (default) clusters
     the span's windows on trace-derived behavior signatures and
     simulates one weighted representative per cluster;
-    ``"systematic"`` spaces unweighted windows evenly (SMARTS-style).
+    ``"systematic"`` spaces unweighted windows evenly (SMARTS-style);
+    ``"adaptive"`` (:mod:`repro.sampling.adaptive`) starts from a small
+    representative set and escalates until the estimate's CI half-width
+    drops below ``ci_target`` (relative; default
+    :data:`~repro.sampling.adaptive.DEFAULT_CI_TARGET`) or the region
+    cap is hit -- returning an :class:`~repro.sampling.adaptive.
+    AdaptiveRun`.
     ``store`` overrides the trace store used for the up-front capture
     (pool workers always resolve theirs from the environment, so pass a
     custom store only together with ``jobs=1``).
     """
-    if strategy not in ("simpoint", "systematic"):
+    if strategy not in ("simpoint", "systematic", "adaptive"):
         raise ValueError(f"unknown sampling strategy: {strategy}")
+    if ci_target is not None and strategy != "adaptive":
+        raise ValueError("ci_target applies to the adaptive strategy")
     profile = get_profile(workload) if isinstance(workload, str) else workload
+    if strategy == "adaptive":
+        from .adaptive import DEFAULT_CI_TARGET, sample_workload_adaptive
+        return sample_workload_adaptive(
+            profile, config, instructions=instructions, skip=skip,
+            ci_target=DEFAULT_CI_TARGET if ci_target is None else ci_target,
+            measure=measure,
+            **({} if warmup is None else {"warmup": warmup}),
+            detail=detail, regions=regions, max_fraction=max_fraction,
+            checkpoint_interval=checkpoint_interval,
+            executor=executor, jobs=jobs, cache=cache, store=store)
     plan_kwargs = {}
     if measure is not None:
         plan_kwargs["measure"] = measure
@@ -126,16 +165,8 @@ def sample_workload(workload: Union[str, WorkloadProfile],
     if checkpoint_interval is not None:
         plan_kwargs["checkpoint_interval"] = checkpoint_interval
 
-    # Capture once before fanning out; workers then load from disk (or,
-    # with persistence off, re-record under the cross-process claim).
-    # The SimPoint planner reads the trace, so acquisition comes first,
-    # covering the whole span either planner can schedule into.
-    trace_store = store if store is not None else shared_store()
-    program = build_program(profile)
-    interval = plan_kwargs.get("checkpoint_interval")
-    trace = trace_store.acquire(
-        program, profile.mem_seed, skip + instructions + REPLAY_MARGIN,
-        **({"checkpoint_interval": interval} if interval is not None else {}))
+    trace = acquire_span_trace(profile, instructions, skip,
+                               checkpoint_interval, store)
 
     if strategy == "simpoint":
         plan = plan_representative_regions(trace, instructions, skip,

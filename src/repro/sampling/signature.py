@@ -141,7 +141,7 @@ def cluster_windows(signatures: Sequence[Signature], k: int,
             if d < nearest[i]:
                 nearest[i] = d
     for _ in range(max_iterations):
-        assignment = _assign(signatures, medoids)
+        assignment = assign_windows(signatures, medoids)
         updated = []
         for j in range(len(medoids)):
             members = [i for i, a in enumerate(assignment) if a == j]
@@ -156,15 +156,16 @@ def cluster_windows(signatures: Sequence[Signature], k: int,
         if updated == medoids:
             break
         medoids = updated
-    assignment = _assign(signatures, medoids)
+    assignment = assign_windows(signatures, medoids)
     weights = [0] * len(medoids)
     for a in assignment:
         weights[a] += 1
     return medoids, weights
 
 
-def _assign(signatures: Sequence[Signature],
-            medoids: Sequence[int]) -> List[int]:
+def assign_windows(signatures: Sequence[Signature],
+                   medoids: Sequence[int]) -> List[int]:
+    """Index of each window's nearest medoid (ties toward the lower slot)."""
     return [min(range(len(medoids)),
                 key=lambda j: (signature_distance(s, signatures[medoids[j]]),
                                j))
@@ -175,6 +176,7 @@ __all__ = [
     "ADDR_SHIFT",
     "PC_SHIFT",
     "Signature",
+    "assign_windows",
     "cluster_windows",
     "signature_distance",
     "window_signature",
