@@ -31,6 +31,15 @@ Three experiments share ``benchmarks/artifacts/perf_throughput.json``:
     timed records, and the aggregate serial speedup must be >= 3x.
     Also records the per-PC static-decode memo's lookup-throughput
     delta over ``Program.at`` (the replay front end's hot path).
+
+``batched``
+    Batched multi-config replay (DESIGN.md §12) vs sequential replay on
+    a Fig. 10-style sweep: 8 PUBS priority-entry configs replaying one
+    region window with a warmup-heavy budget.  Sequential replay trains
+    the warm spans once per config; the batched walk decodes the trace
+    and trains warm state once for the whole batch.  Batched must be at
+    least 3x faster end to end -- the CI batched-replay gate -- and
+    bit-identical per member (asserted).
 """
 
 import dataclasses
@@ -96,7 +105,7 @@ def _update_artifact(section, payload):
     # Drop anything that is not a current section (e.g. the pre-section
     # flat layout) so the artifact never accumulates stale keys.
     data = {k: v for k, v in data.items()
-            if k in ("sweep", "frontend", "sampling", "adaptive")}
+            if k in ("sweep", "frontend", "sampling", "adaptive", "batched")}
     data[section] = payload
     ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
 
@@ -478,3 +487,109 @@ def test_adaptive_sampling_honesty(report):
         f"{DEFAULT_REGIONS}-region plan on only {cheaper} of " \
         f"{len(SAMPLING_WORKLOADS)} workloads " \
         f"(gate: {ADAPTIVE_MIN_CHEAPER})"
+
+
+# ----------------------------------------------------------------------
+# Batched multi-config replay vs sequential replay
+# ----------------------------------------------------------------------
+
+#: A Fig. 10-style design-space sweep: one workload, one region window,
+#: eight issue-policy points.  All eight share one warm equivalence
+#: class, so the batched walk trains the warm spans once.
+BATCHED_WORKLOAD = "sjeng"
+BATCHED_PRIORITY_ENTRIES = (2, 3, 4, 5, 6, 8, 10, 12)
+BATCHED_REGION_START = int(
+    os.environ.get("REPRO_BENCH_BATCHED_START", "110000"))
+BATCHED_WARMUP = int(os.environ.get("REPRO_BENCH_BATCHED_WARMUP", "96000"))
+BATCHED_MEASURE = int(os.environ.get("REPRO_BENCH_BATCHED_MEASURE", "128"))
+BATCHED_DETAIL = int(os.environ.get("REPRO_BENCH_BATCHED_DETAIL", "32"))
+#: Batched replay must beat sequential replay by this much end to end.
+BATCHED_MIN_SPEEDUP = 3.0
+
+
+def _batched_jobs():
+    from repro.pubs import PubsConfig
+    base = ProcessorConfig.cortex_a72_like()
+    profile = get_profile(BATCHED_WORKLOAD)
+    region = (BATCHED_REGION_START, BATCHED_WARMUP, BATCHED_DETAIL)
+    return [SimJob(profile,
+                   base.with_pubs(PubsConfig(priority_entries=entries))
+                       .with_region(*region),
+                   BATCHED_MEASURE, 0)
+            for entries in BATCHED_PRIORITY_ENTRIES]
+
+
+def test_batched_replay_speedup(report):
+    from repro.batch import run_batch
+
+    profile = get_profile(BATCHED_WORKLOAD)
+    program = build_program(profile)
+    store = TraceStore(persistent=False)
+    # Both legs replay the same pre-captured trace: the gate measures
+    # the per-config work batching hoists, not capture cost.
+    store.acquire(program, profile.mem_seed,
+                  BATCHED_REGION_START + BATCHED_MEASURE + REPLAY_MARGIN)
+    jobs = _batched_jobs()
+
+    # The warmup is deliberately partial (warmup < region seat), so the
+    # sequential leg honestly re-trains the warm spans per config -- the
+    # cost every sampled sweep pays today -- instead of hitting the
+    # full-prefix warm-checkpoint store.
+    assert BATCHED_WARMUP < BATCHED_REGION_START - BATCHED_DETAIL
+
+    def best_of(reps, leg):
+        best, results = float("inf"), None
+        for _ in range(reps):
+            start = time.perf_counter()
+            results = leg()
+            best = min(best, time.perf_counter() - start)
+        return best, results
+
+    # Best-of-N on both legs: each is well under a second, so one
+    # scheduler hiccup would otherwise dominate the measured ratio.
+    sequential_elapsed, sequential = best_of(2, lambda: [
+        simulate(program, job.config,
+                 max_instructions=job.instructions,
+                 skip_instructions=job.skip,
+                 mem_seed=profile.mem_seed, trace_source=store)
+        for job in jobs])
+    batched_elapsed, batched = best_of(3,
+                                       lambda: run_batch(jobs,
+                                                         trace_source=store))
+
+    for seq, bat in zip(sequential, batched):
+        assert dataclasses.asdict(bat) == dataclasses.asdict(seq), \
+            "batched replay must stay bit-identical to sequential replay"
+    speedup = sequential_elapsed / batched_elapsed \
+        if batched_elapsed > 0 else 0.0
+
+    artifact = {
+        "workload": BATCHED_WORKLOAD,
+        "configs": len(jobs),
+        "priority_entries": list(BATCHED_PRIORITY_ENTRIES),
+        "region_start": BATCHED_REGION_START,
+        "warmup": BATCHED_WARMUP,
+        "measure": BATCHED_MEASURE,
+        "detail": BATCHED_DETAIL,
+        "sequential_wall_seconds": sequential_elapsed,
+        "batched_wall_seconds": batched_elapsed,
+        "speedup": speedup,
+        "min_speedup": BATCHED_MIN_SPEEDUP,
+    }
+    _update_artifact("batched", artifact)
+
+    rows = [
+        ["configs in batch", str(len(jobs))],
+        ["region (start/warmup/measure+detail)",
+         f"{BATCHED_REGION_START:,} / {BATCHED_WARMUP:,} / "
+         f"{BATCHED_MEASURE + BATCHED_DETAIL:,}"],
+        ["sequential wall s", f"{sequential_elapsed:.2f}"],
+        ["batched wall s", f"{batched_elapsed:.2f}"],
+        ["speedup", f"{speedup:.2f}x (gate: {BATCHED_MIN_SPEEDUP}x)"],
+    ]
+    report(f"Batched vs sequential replay (artifact: {ARTIFACT.name})",
+           render_table(["metric", "value"], rows))
+
+    assert speedup >= BATCHED_MIN_SPEEDUP, \
+        f"batched replay must run >= {BATCHED_MIN_SPEEDUP}x faster than " \
+        f"sequential replay on this sweep, measured {speedup:.2f}x"

@@ -77,14 +77,16 @@ def shared_executor() -> SweepExecutor:
     return _EXECUTOR
 
 
-def _executor_for(jobs: Optional[int], cache: "Optional[bool]"):
+def _executor_for(jobs: Optional[int], cache: "Optional[bool]",
+                  batch: Optional[int] = None):
     """Pick the shared executor or build a specialised one."""
-    if jobs is None and cache is None:
+    if jobs is None and cache is None and batch is None:
         return shared_executor()
     if cache is None:
         return SweepExecutor(jobs=jobs,
-                             cache=shared_executor().cache or False)
-    return SweepExecutor(jobs=jobs, cache=cache)
+                             cache=shared_executor().cache or False,
+                             batch=batch)
+    return SweepExecutor(jobs=jobs, cache=cache, batch=batch)
 
 
 def _resolve_config(config: Optional[ProcessorConfig],
@@ -202,6 +204,7 @@ def run_workload(
     jobs: Optional[int] = None,
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
+    batch: Optional[int] = None,
     request: Optional[RunRequest] = None,
 ) -> "SimulationResult | WorkloadRun":
     """Simulate one named workload on one machine configuration.
@@ -213,15 +216,17 @@ def run_workload(
     ``sampling`` (None defers to ``REPRO_SAMPLING``, then "off") keeps
     the classic full-span :class:`SimulationResult` when off; the
     sampled modes return a :class:`WorkloadRun` estimate instead.
+    ``batch`` caps batched replay grouping (None defers to
+    ``REPRO_BATCH``; a single cell has nothing to group with anyway).
     ``request`` supplies any of these as a bundled
     :class:`~repro.core.config.RunRequest`; explicit keywords win.
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target)
+                         sampling=sampling, ci_target=ci_target, batch=batch)
     if req.sampling != "off":
         return _sampled_cell(workload, config, req,
-                             _executor_for(req.jobs, req.cache))
+                             _executor_for(req.jobs, req.cache, req.batch))
     instructions, skip = _budget(req)
     config = _resolve_config(config, req.frontend)
     job = SimJob.make(workload, config, instructions, skip)
@@ -234,26 +239,31 @@ def run_workload(
             skip_instructions=skip,
             mem_seed=job.profile.mem_seed,
         )
-    return _executor_for(req.jobs, req.cache).run_one(job)
+    return _executor_for(req.jobs, req.cache, req.batch).run_one(job)
 
 
-def _sampled_cell(workload: "str | WorkloadProfile",
-                  config: Optional[ProcessorConfig],
-                  req: RunRequest,
-                  executor: SweepExecutor) -> WorkloadRun:
-    """One sampled cell, falling back to full simulation honestly.
+def _sampled_row(workload: "str | WorkloadProfile",
+                 configs: "list[Optional[ProcessorConfig]]",
+                 req: RunRequest,
+                 executor: SweepExecutor) -> "list[WorkloadRun]":
+    """One workload's sampled cells for several configs, submitted together.
 
-    Only trace-availability failures fall back -- the capture/load
-    errors ``OSError`` and :class:`~repro.trace.format.TraceFormatError`.
-    Anything else (bad parameters, simulator bugs) propagates.
+    All configs sample the *same* trace-derived windows, so their region
+    jobs go through the executor in one submission per escalation step
+    -- which is what lets the batched replay path group every config of
+    one region window into a single trace walk.  Falls back to full
+    simulation honestly, and only on trace-availability failures -- the
+    capture/load errors ``OSError`` and
+    :class:`~repro.trace.format.TraceFormatError`.  Anything else (bad
+    parameters, simulator bugs) propagates.
     """
-    from ..sampling.run import sample_workload  # runner <-> sampling cycle
+    from ..sampling.run import sample_workload_many  # runner <-> sampling
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    cfg = _resolve_config(config, req.frontend)
+    cfgs = [_resolve_config(config, req.frontend) for config in configs]
     instructions, skip = _budget(req)
     try:
-        sampled = sample_workload(
-            profile, cfg, instructions=instructions, skip=skip,
+        sampled = sample_workload_many(
+            profile, cfgs, instructions=instructions, skip=skip,
             strategy="adaptive" if req.sampling == "adaptive"
             else "simpoint",
             measure=req.measure, warmup=req.warmup, detail=req.detail,
@@ -261,11 +271,21 @@ def _sampled_cell(workload: "str | WorkloadProfile",
             checkpoint_interval=req.checkpoint_interval,
             ci_target=req.ci_target if req.sampling == "adaptive" else None,
             executor=executor)
-        return WorkloadRun(profile.name, sampled=sampled)
+        return [WorkloadRun(profile.name, sampled=run) for run in sampled]
     except (OSError, TraceFormatError) as exc:
-        full = executor.run_one(SimJob(profile, cfg, instructions, skip))
-        return WorkloadRun(profile.name, full=full,
-                           fallback_reason=f"{type(exc).__name__}: {exc}")
+        fulls = executor.run([SimJob(profile, cfg, instructions, skip)
+                              for cfg in cfgs])
+        reason = f"{type(exc).__name__}: {exc}"
+        return [WorkloadRun(profile.name, full=full, fallback_reason=reason)
+                for full in fulls]
+
+
+def _sampled_cell(workload: "str | WorkloadProfile",
+                  config: Optional[ProcessorConfig],
+                  req: RunRequest,
+                  executor: SweepExecutor) -> WorkloadRun:
+    """One sampled cell (a single-config :func:`_sampled_row`)."""
+    return _sampled_row(workload, [config], req, executor)[0]
 
 
 @dataclass
@@ -334,6 +354,7 @@ def run_pair(
     frontend: Optional[str] = None,
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
+    batch: Optional[int] = None,
     request: Optional[RunRequest] = None,
 ) -> PairedRun:
     """Run base and variant on the identical dynamic instruction stream.
@@ -341,18 +362,19 @@ def run_pair(
     With a sampled mode both sides estimate from the *same* windows of
     the same recorded trace (the plans derive from the trace alone, not
     the machine), so the paired-stream property the full path guarantees
-    carries over to the sampled one.
+    carries over to the sampled one.  Either way both sides go through
+    the executor in one submission, so replay-mode pairs that share a
+    warm class run as one batched trace walk.
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target)
+                         sampling=sampling, ci_target=ci_target, batch=batch)
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    executor = _executor_for(req.jobs, req.cache)
+    executor = _executor_for(req.jobs, req.cache, req.batch)
     if req.sampling != "off":
-        return PairedRun(profile.name,
-                         _sampled_cell(profile, base_config, req, executor),
-                         _sampled_cell(profile, variant_config, req,
-                                       executor))
+        base_cell, variant_cell = _sampled_row(
+            profile, [base_config, variant_config], req, executor)
+        return PairedRun(profile.name, base_cell, variant_cell)
     instructions, skip = _budget(req)
     base, variant = executor.run([
         SimJob(profile, _resolve_config(base_config, req.frontend),
@@ -375,6 +397,7 @@ def run_suite(
     frontend: Optional[str] = None,
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
+    batch: Optional[int] = None,
     request: Optional[RunRequest] = None,
     executor: Optional[SweepExecutor] = None,
 ) -> "Dict[str, Dict[str, SimulationResult]] | Dict[str, Dict[str, WorkloadRun]]":
@@ -383,25 +406,30 @@ def run_suite(
     Returns ``results[config_name][workload_name]``.  With sampling off
     the values are plain :class:`SimulationResult`\\ s and the whole
     cross product is submitted as one batch, so with ``jobs > 1`` (or
-    ``REPRO_JOBS``) independent simulations run in parallel.  The
-    sampled modes return :class:`WorkloadRun` cells instead -- each
-    workload's regions fan out through the (shared) executor, so
-    parallelism and the persistent cache still apply per batch.
-    ``executor`` overrides the executor used either way (e.g. to read
-    its cache stats afterwards).
+    ``REPRO_JOBS``) independent simulations run in parallel and
+    replay-mode configs sharing a warm class walk each trace once
+    (:mod:`repro.batch`).  The sampled modes return
+    :class:`WorkloadRun` cells instead -- each workload's configs
+    sample the same windows and submit together, so every config of one
+    region window becomes one batched trace walk.  ``executor``
+    overrides the executor used either way (e.g. to read its cache
+    stats afterwards).
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target)
+                         sampling=sampling, ci_target=ci_target, batch=batch)
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
     profiles = [get_profile(name) for name in names]
     runner = executor if executor is not None \
-        else _executor_for(req.jobs, req.cache)
+        else _executor_for(req.jobs, req.cache, req.batch)
     if req.sampling != "off":
-        return {config_name: {profile.name:
-                              _sampled_cell(profile, config, req, runner)
-                              for profile in profiles}
-                for config_name, config in configs.items()}
+        results_by_config: "Dict[str, Dict[str, WorkloadRun]]" = \
+            {config_name: {} for config_name in configs}
+        for profile in profiles:
+            row = _sampled_row(profile, list(configs.values()), req, runner)
+            for config_name, cell in zip(configs, row):
+                results_by_config[config_name][profile.name] = cell
+        return results_by_config
     instructions, skip = _budget(req)
     batch = [
         SimJob(profile, _resolve_config(config, req.frontend),

@@ -16,6 +16,9 @@ keyword vocabulary:
 ``sampling``
     ``"off"`` / ``"fixed"`` / ``"adaptive"``
     (None -> ``REPRO_SAMPLING`` -> off);
+``batch``
+    max replay configs sharing one batched trace walk
+    (None -> ``REPRO_BATCH`` -> 16; 0/1 disables batching);
 ``request``
     a :class:`RunRequest` bundling all of the above -- explicit
     keywords override its fields, the environment fills what is left,
@@ -39,9 +42,14 @@ from .analysis.runner import (
     run_suite,
     run_workload,
 )
+from .batch import run_batch
 from .core.config import ProcessorConfig, RunRequest
-from .sampling.adaptive import AdaptiveRun, sample_workload_adaptive
-from .sampling.run import SampledRun, sample_workload
+from .sampling.adaptive import (
+    AdaptiveRun,
+    sample_workload_adaptive,
+    sample_workload_adaptive_many,
+)
+from .sampling.run import SampledRun, sample_workload, sample_workload_many
 
 __all__ = [
     "AdaptiveRun",
@@ -50,9 +58,12 @@ __all__ = [
     "RunRequest",
     "SampledRun",
     "WorkloadRun",
+    "run_batch",
     "run_pair",
     "run_suite",
     "run_workload",
     "sample_workload",
     "sample_workload_adaptive",
+    "sample_workload_adaptive_many",
+    "sample_workload_many",
 ]

@@ -23,8 +23,11 @@ the timing model from recorded traces instead of live functional execution
 (or ``REPRO_SAMPLING``) estimates whole-span metrics from sampled regions
 instead of simulating everything, annotating every figure with its ~95% CI;
 ``--sampling adaptive`` keeps adding regions until the CI half-width falls
-below ``--ci-target`` (or ``REPRO_CI_TARGET``).  These shared flags follow
-one precedence everywhere: explicit flag > environment > default.
+below ``--ci-target`` (or ``REPRO_CI_TARGET``).  ``--batch N`` (or
+``REPRO_BATCH``) lets up to N replay configs of one workload share a
+single batched trace walk (DESIGN.md §12); 0 disables batching.  These
+shared flags follow one precedence everywhere: explicit flag >
+environment > default.
 """
 
 from __future__ import annotations
@@ -117,6 +120,10 @@ def _shared_parent() -> argparse.ArgumentParser:
                         help="relative CI half-width adaptive sampling "
                              "drives toward (default: REPRO_CI_TARGET, "
                              "else 0.05)")
+    parent.add_argument("--batch", type=int, default=None, metavar="N",
+                        help="max replay configs sharing one batched trace "
+                             "walk (default: REPRO_BATCH, else 16; 0 or 1 "
+                             "disables batching)")
     return parent
 
 
@@ -145,6 +152,7 @@ def _request_from_args(args) -> RunRequest:
         skip=getattr(args, "skip", None),
         jobs=getattr(args, "jobs", None),
         cache=False if getattr(args, "no_cache", False) else None,
+        batch=getattr(args, "batch", None),
         frontend=getattr(args, "frontend", None),
         sampling=getattr(args, "sampling", None),
         ci_target=getattr(args, "ci_target", None),
@@ -298,7 +306,8 @@ def _cmd_suite(args) -> int:
     # One executor for the whole sweep: it dedupes, serves warm results
     # from the persistent cache, and fans misses over --jobs -- and its
     # hit/miss summary below covers every cell, sampled or not.
-    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args))
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
+                             batch=args.batch)
     results = run_suite({"base": base, "variant": variant}, names,
                         request=_request_from_args(args), executor=executor)
     sampled_mode = any(isinstance(cell, WorkloadRun)
@@ -359,13 +368,26 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.directory}")
         return 0
-    entries = len(cache)
-    print(render_table(["property", "value"], [
-        ["directory", str(cache.directory)],
-        ["schema version", str(CACHE_SCHEMA_VERSION)],
-        ["entries", str(entries)],
-        ["size", f"{cache.size_bytes() / 1024:.1f} KB"],
-    ]))
+    # One row pair per namespace: simulation results live at the root,
+    # traces and warm checkpoints in their own subdirectories (see
+    # ResultCache.for_namespace), so usage is reported where it accrues.
+    root = cache.directory
+    namespaces = [("results", cache)] + [
+        (name, ResultCache.for_namespace(name, root))
+        for name in ("traces", "warm")]
+    rows = [["directory", str(root)],
+            ["schema version", str(CACHE_SCHEMA_VERSION)]]
+    total_entries = 0
+    total_bytes = 0
+    for name, ns in namespaces:
+        entries, size = len(ns), ns.size_bytes()
+        total_entries += entries
+        total_bytes += size
+        rows.append([f"{name} entries", str(entries)])
+        rows.append([f"{name} size", f"{size / 1024:.1f} KB"])
+    rows.append(["total entries", str(total_entries)])
+    rows.append(["total size", f"{total_bytes / 1024:.1f} KB"])
+    print(render_table(["property", "value"], rows))
     return 0
 
 

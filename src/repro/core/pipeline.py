@@ -196,6 +196,10 @@ class Pipeline:
         #: Sampled-region detailed warmup still owed before measurement
         #: (consumed by the first ``run`` on a region config).
         self._pending_detail = 0
+        #: Set by the batched replay front end (:mod:`repro.batch`) after
+        #: it has installed the shared cursor and warm state externally;
+        #: the next ``run`` then skips :meth:`_prepare_replay` once.
+        self._replay_prepared = False
         #: Hierarchy-counter baselines at the measurement start, so
         #: region stats report the measured window, not the warm phases.
         self._mem_stats_base = (0, 0)
@@ -233,7 +237,10 @@ class Pipeline:
         if max_instructions < 1:
             raise ValueError("max_instructions must be positive")
         if self.config.frontend_mode == "replay":
-            self._prepare_replay(max_instructions, skip_instructions)
+            if self._replay_prepared:
+                self._replay_prepared = False
+            else:
+                self._prepare_replay(max_instructions, skip_instructions)
         else:
             self._prewarm_regions()
             for _ in range(skip_instructions):

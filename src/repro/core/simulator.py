@@ -62,6 +62,32 @@ class SimulationResult:
         return f"{self.program_name} [{self.config.name}]: {self.stats.summary()}"
 
 
+def result_from_pipeline(pipeline: Pipeline, stats) -> SimulationResult:
+    """Assemble a :class:`SimulationResult` from a finished pipeline.
+
+    Shared by :func:`simulate` and the batched replay runner
+    (:mod:`repro.batch`), so a batch member's result is assembled by the
+    exact code a sequential run uses.
+    """
+    verifier = pipeline.verifier
+    return SimulationResult(
+        program_name=pipeline.program.name,
+        config=pipeline.config,
+        stats=stats,
+        tracker_stats=pipeline.slice_tracker.stats,
+        predictor_accuracy=pipeline.predictor.stats.accuracy,
+        btb_hit_rate=pipeline.btb.hit_rate,
+        mode_switch_disabled_fraction=pipeline.mode_switch.stats.disabled_fraction,
+        iq_priority_dispatches=pipeline.iq.priority_dispatches,
+        lsq_forwards=pipeline.lsq.forwards,
+        select_avg_grants=pipeline.select_logic.stats.average_grants_per_cycle,
+        verify_level=pipeline.config.verify_level,
+        verified_commits=verifier.commits_checked if verifier else 0,
+        invariant_sweeps=verifier.invariant_sweeps if verifier else 0,
+        frontend_mode=pipeline.config.frontend_mode,
+    )
+
+
 def simulate(
     program: Program,
     config: Optional[ProcessorConfig] = None,
@@ -80,20 +106,4 @@ def simulate(
     pipeline = Pipeline(program, config, mem_seed=mem_seed,
                         trace_source=trace_source)
     stats = pipeline.run(max_instructions, skip_instructions, max_cycles)
-    verifier = pipeline.verifier
-    return SimulationResult(
-        program_name=program.name,
-        config=pipeline.config,
-        stats=stats,
-        tracker_stats=pipeline.slice_tracker.stats,
-        predictor_accuracy=pipeline.predictor.stats.accuracy,
-        btb_hit_rate=pipeline.btb.hit_rate,
-        mode_switch_disabled_fraction=pipeline.mode_switch.stats.disabled_fraction,
-        iq_priority_dispatches=pipeline.iq.priority_dispatches,
-        lsq_forwards=pipeline.lsq.forwards,
-        select_avg_grants=pipeline.select_logic.stats.average_grants_per_cycle,
-        verify_level=pipeline.config.verify_level,
-        verified_commits=verifier.commits_checked if verifier else 0,
-        invariant_sweeps=verifier.invariant_sweeps if verifier else 0,
-        frontend_mode=pipeline.config.frontend_mode,
-    )
+    return result_from_pipeline(pipeline, stats)

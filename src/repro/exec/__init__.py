@@ -11,6 +11,8 @@ Environment knobs:
 * ``REPRO_JOBS``      -- worker processes (default: ``os.cpu_count()``)
 * ``REPRO_CACHE_DIR`` -- cache directory (default: ``~/.cache/repro``)
 * ``REPRO_CACHE``     -- set to ``0`` to disable the persistent cache
+* ``REPRO_BATCH``     -- max members per batched replay unit
+  (default: 16; ``0`` disables batching)
 """
 
 from .cache import (
@@ -19,8 +21,20 @@ from .cache import (
     cache_enabled_by_env,
     default_cache_dir,
 )
-from .executor import SweepExecutor, default_jobs
-from .jobs import SimJob, execute_job, job_key
+from .executor import (
+    DEFAULT_BATCH_LIMIT,
+    SweepExecutor,
+    default_batch_limit,
+    default_jobs,
+)
+from .jobs import (
+    BatchJob,
+    SimJob,
+    batch_signature,
+    execute_batch,
+    execute_job,
+    job_key,
+)
 from .serialize import (
     CACHE_SCHEMA_VERSION,
     canonical_json,
@@ -31,16 +45,21 @@ from .serialize import (
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
+    "DEFAULT_BATCH_LIMIT",
+    "BatchJob",
     "CacheStats",
     "ResultCache",
     "SimJob",
     "SweepExecutor",
+    "batch_signature",
     "cache_enabled_by_env",
     "canonical_json",
     "canonicalize",
     "config_fingerprint",
+    "default_batch_limit",
     "default_cache_dir",
     "default_jobs",
+    "execute_batch",
     "execute_job",
     "fingerprint",
     "job_key",

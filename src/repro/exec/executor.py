@@ -1,21 +1,30 @@
-"""Parallel sweep executor: dedup, cache, fan out, reassemble.
+"""Parallel sweep executor: dedup, cache, batch, fan out, reassemble.
 
 Every evaluation in the repo reduces to a batch of independent, deterministic
 (workload, config, budget) simulations.  :class:`SweepExecutor` takes such a
 batch and
 
-1. **deduplicates** it by content hash, so a result requested by several
-   figures (the Fig. 9 scatter reuses every Fig. 8 run) is simulated once;
+1. **deduplicates** it by content hash -- both within one call and across
+   calls of the same executor (one suite submission), so a result requested
+   by several figures (the Fig. 9 scatter reuses every Fig. 8 run) or by
+   several sampled cells is simulated once even on a cold cache;
 2. serves what it can from the **persistent result cache**
    (:mod:`repro.exec.cache`);
-3. fans the remaining misses out over a
+3. **groups** the remaining replay-mode misses by
+   :func:`~repro.exec.jobs.batch_signature` into :class:`~repro.exec.jobs.
+   BatchJob` units (``--batch`` / ``REPRO_BATCH``; see :mod:`repro.batch`),
+   so N same-window configs walk their trace once instead of N times;
+4. fans the resulting units out over a
    :class:`concurrent.futures.ProcessPoolExecutor` sized by the ``--jobs``
    CLI flag / ``REPRO_JOBS`` environment variable / ``os.cpu_count()``;
-4. returns results in request order, so callers are oblivious to scheduling.
+5. returns results in request order, so callers are oblivious to scheduling.
 
 Because each simulation is deterministic (seeded generators, fixed dynamic
-stream) and jobs share no state, a parallel or cached batch is *identical*
-to a serial fresh one -- the property the tier-1 executor tests pin down.
+stream) and batch members keep private microarchitectural state, a parallel,
+cached, or batched run is *identical* to a serial fresh one -- the property
+the tier-1 executor and batch tests pin down.  Every batch member keeps its
+own job key, so warm-cache behavior is unchanged: cached members are served
+before grouping and never re-simulated.
 
 A batch of one, or ``jobs=1``, runs inline in this process: no pool, no
 pickling, no surprises for small calls like ``run_pair``.
@@ -29,7 +38,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.simulator import SimulationResult
 from .cache import ResultCache, cache_enabled_by_env
-from .jobs import SimJob, execute_job, job_key
+from .jobs import BatchJob, SimJob, batch_signature, execute_batch, \
+    execute_job, job_key
+
+#: Default cap on members per batched replay unit.  Large enough to cover
+#: a Fig. 10-style sweep in one walk, small enough that one unit does not
+#: serialize a whole many-config sweep behind a single worker.
+DEFAULT_BATCH_LIMIT = 16
 
 
 def default_jobs() -> int:
@@ -45,24 +60,58 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def _execute_entry(entry: Tuple[str, SimJob]) -> Tuple[str, SimulationResult]:
-    """Worker-side shim: run one keyed job (module-level for pickling)."""
-    key, job = entry
-    return key, execute_job(job)
+def default_batch_limit() -> int:
+    """Batch cap: ``REPRO_BATCH`` if set and valid, else the default.
+
+    ``0`` (or ``1``) disables batched grouping; invalid values fall back
+    to :data:`DEFAULT_BATCH_LIMIT`, mirroring :func:`default_jobs`.
+    """
+    env = os.environ.get("REPRO_BATCH")
+    if env is not None:
+        try:
+            value = int(env)
+            if value >= 0:
+                return value
+        except ValueError:
+            pass
+    return DEFAULT_BATCH_LIMIT
+
+
+_Entry = Tuple[str, SimJob]
+
+
+def _execute_unit(unit: Sequence[_Entry]) -> List[Tuple[str, SimulationResult]]:
+    """Worker-side shim: run one unit (module-level for pickling).
+
+    A unit is one or more keyed jobs; multi-job units share one batched
+    trace walk, single-job units run exactly as before.
+    """
+    if len(unit) == 1:
+        key, job = unit[0]
+        return [(key, execute_job(job))]
+    results = execute_batch(BatchJob(tuple(job for _, job in unit)))
+    return list(zip((key for key, _ in unit), results))
 
 
 class SweepExecutor:
     """Batch runner with job dedup, persistent caching and a process pool."""
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: "Optional[ResultCache | bool]" = None):
+                 cache: "Optional[ResultCache | bool]" = None,
+                 batch: Optional[int] = None):
         """``jobs``: worker count (None -> :func:`default_jobs`).
 
         ``cache``: a :class:`ResultCache` to use, ``False`` to disable
         caching, or None to follow the environment policy (enabled unless
         ``REPRO_CACHE=0``, directory from ``REPRO_CACHE_DIR``).
+
+        ``batch``: max members per batched replay unit; ``0`` or ``1``
+        disables grouping, None follows ``REPRO_BATCH`` (default
+        :data:`DEFAULT_BATCH_LIMIT`).
         """
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.batch = default_batch_limit() if batch is None \
+            else max(0, int(batch))
         if cache is None:
             self.cache: Optional[ResultCache] = (
                 ResultCache() if cache_enabled_by_env() else None)
@@ -74,12 +123,48 @@ class SweepExecutor:
             self.cache = cache
         #: Simulations actually executed (cache misses after dedup).
         self.simulations_run = 0
-        #: Requests answered by batch-level deduplication.
+        #: Requests answered by deduplication (same key in one call, or
+        #: already produced by an earlier call of this executor).
         self.deduplicated = 0
+        #: Batched replay units executed, and the jobs they covered.
+        self.batches_run = 0
+        self.batched_jobs = 0
+        #: Results produced by this executor, keyed by job key: the
+        #: within-submission dedup memo.  Two cells that hash identically
+        #: simulate once even with the persistent cache cold or disabled.
+        self._produced: Dict[str, SimulationResult] = {}
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+
+    def _plan_units(self, misses: List[_Entry]) -> List[List[_Entry]]:
+        """Group cache misses into execution units, request order kept.
+
+        Replay jobs sharing a :func:`batch_signature` form one unit (up
+        to ``self.batch`` members; larger groups split); live-mode jobs
+        and singletons stay individual units.
+        """
+        if self.batch < 2:
+            return [[entry] for entry in misses]
+        sequence: List[List[_Entry]] = []
+        buckets: Dict[str, List[_Entry]] = {}
+        for entry in misses:
+            signature = batch_signature(entry[1])
+            if signature is None:
+                sequence.append([entry])
+                continue
+            bucket = buckets.get(signature)
+            if bucket is None:
+                bucket = buckets[signature] = [entry]
+                sequence.append(bucket)
+            else:
+                bucket.append(entry)
+        units: List[List[_Entry]] = []
+        for bucket in sequence:
+            for i in range(0, len(bucket), self.batch):
+                units.append(bucket[i:i + self.batch])
+        return units
 
     def run(self, batch: Sequence[SimJob]) -> List[SimulationResult]:
         """Run every job in ``batch``; results in request order."""
@@ -90,26 +175,38 @@ class SweepExecutor:
         self.deduplicated += len(batch) - len(unique)
 
         results: Dict[str, SimulationResult] = {}
-        misses: List[Tuple[str, SimJob]] = []
+        misses: List[_Entry] = []
         for key, job in unique.items():
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 results[key] = cached
-            else:
-                misses.append((key, job))
+                continue
+            produced = self._produced.get(key)
+            if produced is not None:
+                results[key] = produced
+                self.deduplicated += 1
+                continue
+            misses.append((key, job))
 
         if misses:
             self.simulations_run += len(misses)
-            workers = min(self.jobs, len(misses))
+            units = self._plan_units(misses)
+            for unit in units:
+                if len(unit) > 1:
+                    self.batches_run += 1
+                    self.batched_jobs += len(unit)
+            workers = min(self.jobs, len(units))
             if workers > 1:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    produced = list(pool.map(_execute_entry, misses))
+                    produced_units = list(pool.map(_execute_unit, units))
             else:
-                produced = [_execute_entry(entry) for entry in misses]
-            for key, result in produced:
-                results[key] = result
-                if self.cache is not None:
-                    self.cache.put(key, result)
+                produced_units = [_execute_unit(unit) for unit in units]
+            for unit_results in produced_units:
+                for key, result in unit_results:
+                    results[key] = result
+                    self._produced[key] = result
+                    if self.cache is not None:
+                        self.cache.put(key, result)
 
         return [results[key] for key in keys]
 
@@ -125,6 +222,11 @@ class SweepExecutor:
         parts = [f"jobs={self.jobs}",
                  f"simulations={self.simulations_run}",
                  f"deduplicated={self.deduplicated}"]
+        if self.batch >= 2:
+            parts.append(f"batched={self.batched_jobs}"
+                         f"(in {self.batches_run} batches)")
+        else:
+            parts.append("batch=off")
         if self.cache is not None:
             parts.append(self.cache.stats.summary())
         else:

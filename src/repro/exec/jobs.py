@@ -25,9 +25,10 @@ not once per worker.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..core.config import ProcessorConfig
+from ..core.pipeline import _front_warm_config
 from ..core.simulator import SimulationResult, simulate
 from ..workloads.generator import build_program
 from ..workloads.profiles import WorkloadProfile, get_profile
@@ -74,3 +75,65 @@ def execute_job(job: SimJob) -> SimulationResult:
         skip_instructions=job.skip,
         mem_seed=job.profile.mem_seed,
     )
+
+
+def batch_signature(job: SimJob) -> Optional[str]:
+    """Content hash of the state a batched replay run may share, or None.
+
+    Two jobs may ride in one batch exactly when this signature matches:
+    same workload, budget and replay window, same memory configuration
+    and same warmup-trained front-end slice
+    (:func:`~repro.core.pipeline._front_warm_config` -- the
+    warm-checkpoint equivalence class from the trace store).  Everything
+    *outside* the signature only steers per-member timing state
+    (priority entries, stall policy, mode switching, IQ organization,
+    window sizes, verification level), which each batch member keeps
+    privately.  Live-mode jobs return None: they have no shared trace
+    to walk.
+    """
+    cfg = job.config
+    if cfg.frontend_mode != "replay":
+        return None
+    return fingerprint({
+        "batch": CACHE_SCHEMA_VERSION,
+        "profile": job.profile,
+        "instructions": job.instructions,
+        "skip": job.skip,
+        "region": cfg.replay_region,
+        "memory": cfg.memory,
+        "front": _front_warm_config(cfg),
+    })
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """Several same-signature replay jobs sharing one trace walk.
+
+    Each member keeps its own :func:`job_key` -- and therefore its own
+    persistent cache entry -- so warm-cache behavior is identical to
+    running the members individually; the executor drops already-cached
+    members from the batch before simulation.
+    """
+
+    jobs: Tuple[SimJob, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ValueError("a batch needs at least one job")
+        signatures = {batch_signature(job) for job in self.jobs}
+        if None in signatures:
+            raise ValueError("batched execution requires replay-mode jobs")
+        if len(signatures) > 1:
+            raise ValueError(
+                "batch members must share workload, budget, replay window, "
+                "memory configuration and warm front-end configuration")
+
+    @property
+    def signature(self) -> str:
+        return batch_signature(self.jobs[0])
+
+
+def execute_batch(batch: BatchJob) -> List[SimulationResult]:
+    """Run a batch to completion (in this process), one walk of the trace."""
+    from ..batch import run_batch  # deferred: repro.batch builds on repro.exec
+    return run_batch(batch.jobs)

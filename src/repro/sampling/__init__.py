@@ -29,6 +29,7 @@ from .adaptive import (
     AdaptiveRound,
     AdaptiveRun,
     sample_workload_adaptive,
+    sample_workload_adaptive_many,
 )
 from .aggregate import (
     CI_RELATIVE_FLOOR,
@@ -55,6 +56,7 @@ from .run import (
     acquire_span_trace,
     region_jobs,
     sample_workload,
+    sample_workload_many,
     sampled_vs_full_error,
 )
 from .signature import (
@@ -93,6 +95,8 @@ __all__ = [
     "region_jobs",
     "sample_workload",
     "sample_workload_adaptive",
+    "sample_workload_adaptive_many",
+    "sample_workload_many",
     "sampled_vs_full_error",
     "signature_distance",
     "weighted_ratio",

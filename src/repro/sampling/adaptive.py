@@ -33,7 +33,7 @@ allowance (see :mod:`repro.sampling.aggregate`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.config import ProcessorConfig
 from ..core.simulator import SimulationResult
@@ -171,6 +171,179 @@ def _window_region(index: int, measure: int, skip: int,
                   measure=measure, detail=d, weight=weight)
 
 
+@dataclass
+class _EscalationState:
+    """One config's private escalation state in a lockstep multi run."""
+
+    base: ProcessorConfig
+    clusters: List[_Cluster]
+    simulated: Dict[int, SimulationResult]
+    rounds: List[AdaptiveRound]
+    converged: bool = False
+    active: bool = True
+
+
+def sample_workload_adaptive_many(
+        workload: Union[str, WorkloadProfile],
+        configs: "Sequence[Optional[ProcessorConfig]]",
+        instructions: int = 20_000,
+        skip: int = 2_000,
+        ci_target: float = DEFAULT_CI_TARGET,
+        measure: Optional[int] = None,
+        warmup: Optional[int] = DEFAULT_WARMUP,
+        detail: Optional[int] = None,
+        start_regions: int = DEFAULT_START_REGIONS,
+        batch: int = DEFAULT_BATCH,
+        regions: Optional[int] = None,
+        max_fraction: Optional[float] = None,
+        checkpoint_interval: Optional[int] = None,
+        executor: Optional[SweepExecutor] = None,
+        jobs: Optional[int] = None,
+        cache: "Optional[bool]" = None,
+        store: Optional[TraceStore] = None) -> List[AdaptiveRun]:
+    """Escalate several configs of one workload in lockstep rounds.
+
+    Splitting is signature-driven and therefore config-independent, so
+    every config escalates through the *same* region sequence; only the
+    stop decision (its own CI) differs.  Running the loops in lockstep
+    lets each round submit every still-escalating config's new region
+    jobs as one executor call -- all configs of one region window
+    become one batched trace walk (:mod:`repro.batch`).  Each returned
+    :class:`AdaptiveRun` is identical to what a separate
+    :func:`sample_workload_adaptive` call for that config would
+    produce (same deterministic schedule, same cached job keys).
+    """
+    if ci_target <= 0:
+        raise ValueError("ci_target must be positive")
+    if start_regions < 2:
+        raise ValueError("start_regions must be at least 2 (a single "
+                         "region supports no CI claim)")
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    if regions is not None and regions < start_regions:
+        raise ValueError("regions cap must cover the starting set")
+    if instructions < 1:
+        raise ValueError("instructions must be positive")
+    if skip < 0:
+        raise ValueError("skip must be non-negative")
+    if not configs:
+        return []
+
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    bases = [config or ProcessorConfig.cortex_a72_like()
+             for config in configs]
+    max_fraction = DEFAULT_MAX_FRACTION if max_fraction is None else max_fraction
+    if not 0 < max_fraction <= 1:
+        raise ValueError("max_fraction must be in (0, 1]")
+    budget = max(1, int(instructions * max_fraction))
+    measure = DEFAULT_MEASURE if measure is None else measure
+    if measure < 1:
+        raise ValueError("measure must be positive")
+    measure = min(measure, budget)
+    detail = measure // 4 if detail is None else detail
+    if detail < 0:
+        raise ValueError("detail must be non-negative")
+    detail = min(detail, budget - measure)
+    if warmup is not None and warmup < 0:
+        raise ValueError("warmup must be non-negative")
+
+    trace = acquire_span_trace(profile, instructions, skip,
+                               checkpoint_interval, store)
+
+    windows = max(1, instructions // measure)
+    cap = min(regions if regions is not None else DEFAULT_ADAPTIVE_CAP,
+              max(1, budget // (measure + detail)),
+              windows)
+    signatures = [window_signature(trace, skip + i * measure, measure)
+                  for i in range(windows)]
+
+    medoids, _ = cluster_windows(signatures, min(start_regions, cap))
+    assignment = assign_windows(signatures, medoids)
+    initial = [(m, [i for i, a in enumerate(assignment) if a == slot])
+               for slot, m in enumerate(medoids)]
+
+    runner = executor if executor is not None \
+        else SweepExecutor(jobs=jobs, cache=cache)
+    states = [_EscalationState(
+        base=base,
+        clusters=[_Cluster(m, list(members)) for m, members in initial],
+        simulated={}, rounds=[]) for base in bases]
+    while any(state.active for state in states):
+        requests: List[Tuple[_EscalationState, int]] = []
+        for state in states:
+            if not state.active:
+                continue
+            requests.extend(
+                (state, c.medoid) for c in state.clusters
+                if c.medoid not in state.simulated)
+        if requests:
+            jobs_batch = [
+                SimJob(profile,
+                       state.base.with_region(r.start, r.warmup, r.detail),
+                       r.measure, 0)
+                for state, r in (
+                    (state,
+                     _window_region(m, measure, skip, warmup, detail, 1))
+                    for state, m in requests)]
+            for (state, m), result in zip(requests, runner.run(jobs_batch)):
+                state.simulated[m] = result
+
+        for state in states:
+            if not state.active:
+                continue
+            ordered = sorted(state.clusters, key=lambda c: c.medoid)
+            results = [state.simulated[c.medoid] for c in ordered]
+            weights = [len(c.members) for c in ordered]
+            estimate = estimate_cpi(results, weights)
+            relative = estimate.relative_error
+            state.rounds.append(AdaptiveRound(
+                regions=len(state.clusters),
+                simulated_records=len(state.clusters) * (measure + detail),
+                relative_ci=relative))
+            if relative == relative and relative <= ci_target:  # not NaN
+                state.converged = True
+                state.active = False
+                continue
+            if len(state.clusters) >= cap:
+                state.active = False
+                continue
+            split_any = False
+            for _ in range(min(batch, cap - len(state.clusters))):
+                target = _next_split(state.clusters, signatures)
+                if target is None:
+                    break
+                kept, new = _split_cluster(state.clusters[target], signatures)
+                state.clusters[target] = kept
+                state.clusters.append(new)
+                split_any = True
+            if not split_any:
+                state.active = False
+
+    runs = []
+    for state in states:
+        ordered = sorted(state.clusters, key=lambda c: c.medoid)
+        plan = RegionPlan(
+            instructions=instructions, skip=skip,
+            checkpoint_interval=trace.checkpoint_interval,
+            regions=tuple(_window_region(c.medoid, measure, skip, warmup,
+                                         detail, len(c.members))
+                          for c in ordered))
+        results = tuple(state.simulated[c.medoid] for c in ordered)
+        weights = [r.weight for r in plan.regions]
+        runs.append(AdaptiveRun(
+            workload=profile.name,
+            config=state.base,
+            plan=plan,
+            results=results,
+            cpi=estimate_cpi(results, weights),
+            misspec_penalty=estimate_misspec_penalty(results, weights),
+            ci_target=ci_target,
+            converged=state.converged,
+            rounds=tuple(state.rounds),
+        ))
+    return runs
+
+
 def sample_workload_adaptive(
         workload: Union[str, WorkloadProfile],
         config: Optional[ProcessorConfig] = None,
@@ -199,115 +372,12 @@ def sample_workload_adaptive(
     ``start_regions``/``batch`` shape the schedule.  See the module
     docstring for the algorithm.
     """
-    if ci_target <= 0:
-        raise ValueError("ci_target must be positive")
-    if start_regions < 2:
-        raise ValueError("start_regions must be at least 2 (a single "
-                         "region supports no CI claim)")
-    if batch < 1:
-        raise ValueError("batch must be positive")
-    if regions is not None and regions < start_regions:
-        raise ValueError("regions cap must cover the starting set")
-    if instructions < 1:
-        raise ValueError("instructions must be positive")
-    if skip < 0:
-        raise ValueError("skip must be non-negative")
-
-    profile = get_profile(workload) if isinstance(workload, str) else workload
-    base = config or ProcessorConfig.cortex_a72_like()
-    max_fraction = DEFAULT_MAX_FRACTION if max_fraction is None else max_fraction
-    if not 0 < max_fraction <= 1:
-        raise ValueError("max_fraction must be in (0, 1]")
-    budget = max(1, int(instructions * max_fraction))
-    measure = DEFAULT_MEASURE if measure is None else measure
-    if measure < 1:
-        raise ValueError("measure must be positive")
-    measure = min(measure, budget)
-    detail = measure // 4 if detail is None else detail
-    if detail < 0:
-        raise ValueError("detail must be non-negative")
-    detail = min(detail, budget - measure)
-    if warmup is not None and warmup < 0:
-        raise ValueError("warmup must be non-negative")
-
-    trace = acquire_span_trace(profile, instructions, skip,
-                               checkpoint_interval, store)
-
-    windows = max(1, instructions // measure)
-    cap = min(regions if regions is not None else DEFAULT_ADAPTIVE_CAP,
-              max(1, budget // (measure + detail)),
-              windows)
-    signatures = [window_signature(trace, skip + i * measure, measure)
-                  for i in range(windows)]
-
-    medoids, _ = cluster_windows(signatures, min(start_regions, cap))
-    assignment = assign_windows(signatures, medoids)
-    clusters = [_Cluster(m, [i for i, a in enumerate(assignment) if a == slot])
-                for slot, m in enumerate(medoids)]
-
-    runner = executor if executor is not None \
-        else SweepExecutor(jobs=jobs, cache=cache)
-    simulated: Dict[int, SimulationResult] = {}
-    rounds: List[AdaptiveRound] = []
-    converged = False
-    while True:
-        pending = [c.medoid for c in clusters if c.medoid not in simulated]
-        if pending:
-            jobs_batch = [
-                SimJob(profile,
-                       base.with_region(r.start, r.warmup, r.detail),
-                       r.measure, 0)
-                for r in (_window_region(m, measure, skip, warmup, detail, 1)
-                          for m in pending)]
-            for m, result in zip(pending, runner.run(jobs_batch)):
-                simulated[m] = result
-
-        ordered = sorted(clusters, key=lambda c: c.medoid)
-        results = [simulated[c.medoid] for c in ordered]
-        weights = [len(c.members) for c in ordered]
-        estimate = estimate_cpi(results, weights)
-        relative = estimate.relative_error
-        rounds.append(AdaptiveRound(
-            regions=len(clusters),
-            simulated_records=len(clusters) * (measure + detail),
-            relative_ci=relative))
-        if relative == relative and relative <= ci_target:  # not NaN
-            converged = True
-            break
-        if len(clusters) >= cap:
-            break
-        split_any = False
-        for _ in range(min(batch, cap - len(clusters))):
-            target = _next_split(clusters, signatures)
-            if target is None:
-                break
-            kept, new = _split_cluster(clusters[target], signatures)
-            clusters[target] = kept
-            clusters.append(new)
-            split_any = True
-        if not split_any:
-            break
-
-    ordered = sorted(clusters, key=lambda c: c.medoid)
-    plan = RegionPlan(
-        instructions=instructions, skip=skip,
-        checkpoint_interval=trace.checkpoint_interval,
-        regions=tuple(_window_region(c.medoid, measure, skip, warmup,
-                                     detail, len(c.members))
-                      for c in ordered))
-    results = tuple(simulated[c.medoid] for c in ordered)
-    weights = [r.weight for r in plan.regions]
-    return AdaptiveRun(
-        workload=profile.name,
-        config=base,
-        plan=plan,
-        results=results,
-        cpi=estimate_cpi(results, weights),
-        misspec_penalty=estimate_misspec_penalty(results, weights),
-        ci_target=ci_target,
-        converged=converged,
-        rounds=tuple(rounds),
-    )
+    return sample_workload_adaptive_many(
+        workload, [config], instructions=instructions, skip=skip,
+        ci_target=ci_target, measure=measure, warmup=warmup, detail=detail,
+        start_regions=start_regions, batch=batch, regions=regions,
+        max_fraction=max_fraction, checkpoint_interval=checkpoint_interval,
+        executor=executor, jobs=jobs, cache=cache, store=store)[0]
 
 
 __all__ = [
@@ -318,4 +388,5 @@ __all__ = [
     "AdaptiveRound",
     "AdaptiveRun",
     "sample_workload_adaptive",
+    "sample_workload_adaptive_many",
 ]

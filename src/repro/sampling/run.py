@@ -21,7 +21,7 @@ start record it exactly once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..core.config import ProcessorConfig
 from ..core.simulator import SimulationResult
@@ -100,6 +100,96 @@ def acquire_span_trace(profile: WorkloadProfile, instructions: int,
            if checkpoint_interval is not None else {}))
 
 
+def sample_workload_many(workload: Union[str, WorkloadProfile],
+                         configs: "Sequence[Optional[ProcessorConfig]]",
+                         instructions: int = 20_000,
+                         skip: int = 2_000,
+                         strategy: str = "simpoint",
+                         measure: Optional[int] = None,
+                         warmup: Optional[int] = None,
+                         detail: Optional[int] = None,
+                         regions: Optional[int] = None,
+                         max_fraction: Optional[float] = None,
+                         checkpoint_interval: Optional[int] = None,
+                         ci_target: Optional[float] = None,
+                         executor: Optional[SweepExecutor] = None,
+                         jobs: Optional[int] = None,
+                         cache: "Optional[bool]" = None,
+                         store: Optional[TraceStore] = None
+                         ) -> List[SampledRun]:
+    """:func:`sample_workload` for several configs of one workload.
+
+    The plan derives from the trace alone, so every config samples the
+    *same* windows; submitting all configs' region jobs in one executor
+    call lets the batched replay path (:mod:`repro.batch`) walk each
+    region window once for every config sharing its warm class.
+    Returns one :class:`SampledRun` per config, in ``configs`` order --
+    each identical to what a separate :func:`sample_workload` call
+    would produce.
+    """
+    if strategy not in ("simpoint", "systematic", "adaptive"):
+        raise ValueError(f"unknown sampling strategy: {strategy}")
+    if ci_target is not None and strategy != "adaptive":
+        raise ValueError("ci_target applies to the adaptive strategy")
+    if not configs:
+        return []
+    profile = get_profile(workload) if isinstance(workload, str) else workload
+    if strategy == "adaptive":
+        from .adaptive import DEFAULT_CI_TARGET, sample_workload_adaptive_many
+        return sample_workload_adaptive_many(
+            profile, configs, instructions=instructions, skip=skip,
+            ci_target=DEFAULT_CI_TARGET if ci_target is None else ci_target,
+            measure=measure,
+            **({} if warmup is None else {"warmup": warmup}),
+            detail=detail, regions=regions, max_fraction=max_fraction,
+            checkpoint_interval=checkpoint_interval,
+            executor=executor, jobs=jobs, cache=cache, store=store)
+    plan_kwargs = {}
+    if measure is not None:
+        plan_kwargs["measure"] = measure
+    if warmup is not None:
+        plan_kwargs["warmup"] = warmup
+    if detail is not None:
+        plan_kwargs["detail"] = detail
+    if regions is not None:
+        if strategy != "simpoint":
+            raise ValueError("regions cap applies to the simpoint strategy")
+        plan_kwargs["regions"] = regions
+    if max_fraction is not None:
+        plan_kwargs["max_fraction"] = max_fraction
+    if checkpoint_interval is not None:
+        plan_kwargs["checkpoint_interval"] = checkpoint_interval
+
+    trace = acquire_span_trace(profile, instructions, skip,
+                               checkpoint_interval, store)
+
+    if strategy == "simpoint":
+        plan = plan_representative_regions(trace, instructions, skip,
+                                           **plan_kwargs)
+    else:
+        plan = plan_regions(instructions, skip, **plan_kwargs)
+
+    batch = [job for config in configs
+             for job in region_jobs(profile, config, plan)]
+    runner = executor if executor is not None \
+        else SweepExecutor(jobs=jobs, cache=cache)
+    flat = runner.run(batch)
+    weights = [r.weight for r in plan.regions]
+    per_config = len(plan.regions)
+    runs = []
+    for i, config in enumerate(configs):
+        results = flat[i * per_config:(i + 1) * per_config]
+        runs.append(SampledRun(
+            workload=profile.name,
+            config=config or ProcessorConfig.cortex_a72_like(),
+            plan=plan,
+            results=tuple(results),
+            cpi=estimate_cpi(results, weights),
+            misspec_penalty=estimate_misspec_penalty(results, weights),
+        ))
+    return runs
+
+
 def sample_workload(workload: Union[str, WorkloadProfile],
                     config: Optional[ProcessorConfig] = None,
                     instructions: int = 20_000,
@@ -134,59 +224,12 @@ def sample_workload(workload: Union[str, WorkloadProfile],
     (pool workers always resolve theirs from the environment, so pass a
     custom store only together with ``jobs=1``).
     """
-    if strategy not in ("simpoint", "systematic", "adaptive"):
-        raise ValueError(f"unknown sampling strategy: {strategy}")
-    if ci_target is not None and strategy != "adaptive":
-        raise ValueError("ci_target applies to the adaptive strategy")
-    profile = get_profile(workload) if isinstance(workload, str) else workload
-    if strategy == "adaptive":
-        from .adaptive import DEFAULT_CI_TARGET, sample_workload_adaptive
-        return sample_workload_adaptive(
-            profile, config, instructions=instructions, skip=skip,
-            ci_target=DEFAULT_CI_TARGET if ci_target is None else ci_target,
-            measure=measure,
-            **({} if warmup is None else {"warmup": warmup}),
-            detail=detail, regions=regions, max_fraction=max_fraction,
-            checkpoint_interval=checkpoint_interval,
-            executor=executor, jobs=jobs, cache=cache, store=store)
-    plan_kwargs = {}
-    if measure is not None:
-        plan_kwargs["measure"] = measure
-    if warmup is not None:
-        plan_kwargs["warmup"] = warmup
-    if detail is not None:
-        plan_kwargs["detail"] = detail
-    if regions is not None:
-        if strategy != "simpoint":
-            raise ValueError("regions cap applies to the simpoint strategy")
-        plan_kwargs["regions"] = regions
-    if max_fraction is not None:
-        plan_kwargs["max_fraction"] = max_fraction
-    if checkpoint_interval is not None:
-        plan_kwargs["checkpoint_interval"] = checkpoint_interval
-
-    trace = acquire_span_trace(profile, instructions, skip,
-                               checkpoint_interval, store)
-
-    if strategy == "simpoint":
-        plan = plan_representative_regions(trace, instructions, skip,
-                                           **plan_kwargs)
-    else:
-        plan = plan_regions(instructions, skip, **plan_kwargs)
-
-    batch = region_jobs(profile, config, plan)
-    runner = executor if executor is not None \
-        else SweepExecutor(jobs=jobs, cache=cache)
-    results = runner.run(batch)
-    weights = [r.weight for r in plan.regions]
-    return SampledRun(
-        workload=profile.name,
-        config=config or ProcessorConfig.cortex_a72_like(),
-        plan=plan,
-        results=tuple(results),
-        cpi=estimate_cpi(results, weights),
-        misspec_penalty=estimate_misspec_penalty(results, weights),
-    )
+    return sample_workload_many(
+        workload, [config], instructions=instructions, skip=skip,
+        strategy=strategy, measure=measure, warmup=warmup, detail=detail,
+        regions=regions, max_fraction=max_fraction,
+        checkpoint_interval=checkpoint_interval, ci_target=ci_target,
+        executor=executor, jobs=jobs, cache=cache, store=store)[0]
 
 
 def sampled_vs_full_error(sampled: SampledRun,
@@ -201,5 +244,6 @@ __all__ = [
     "SampledRun",
     "region_jobs",
     "sample_workload",
+    "sample_workload_many",
     "sampled_vs_full_error",
 ]

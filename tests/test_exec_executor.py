@@ -43,6 +43,18 @@ class TestSweepExecutor:
         assert executor.simulations_run == 1
         assert executor.deduplicated == 1
 
+    def test_duplicate_jobs_across_submissions_simulate_once(self):
+        """One suite submission = one executor lifetime: a job repeated
+        in a later run() call is served from the in-memory memo even
+        with the persistent cache off (cold-cache dedup)."""
+        job = _batch()[0]
+        executor = SweepExecutor(jobs=1, cache=False)
+        first = executor.run([job])
+        second = executor.run([job])
+        assert first == second
+        assert executor.simulations_run == 1
+        assert executor.deduplicated == 1
+
     def test_warm_cache_runs_zero_simulations(self, tmp_path):
         batch = _batch()
         cold = SweepExecutor(jobs=1, cache=ResultCache(tmp_path))
