@@ -40,6 +40,7 @@ from .core import (
     ProcessorConfig,
     SimStats,
     SimulationResult,
+    SmtConfig,
     simulate,
     size_models,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "ProcessorConfig",
     "SimStats",
     "SimulationResult",
+    "SmtConfig",
     "simulate",
     "size_models",
     "ResultCache",

@@ -13,6 +13,8 @@ Commands:
 * ``trace record|info``         -- capture/inspect replay traces (§9)
 * ``sample [WORKLOADS]``        -- sampled CPI estimate (§10, §11)
 * ``profile WORKLOAD``          -- cProfile one run, print top hotspots
+* ``stress list|run``           -- stress-kernel families vs their
+  expected-bottleneck contracts (§13)
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
 fans independent runs across worker processes, and results persist in the
@@ -68,6 +70,8 @@ def _machine_from_args(args) -> ProcessorConfig:
             priority_entries=args.priority_entries,
             stall_policy=not args.non_stall,
         ))
+    if args.smt:
+        cfg = cfg.with_smt(interleave=args.smt_interleave)
     # Machine knobs only: --frontend is applied by each command (via the
     # runner's frontend= parameter or an explicit with_frontend) so that
     # compare/suite's "no machine flags -> default to PUBS" equality check
@@ -89,6 +93,13 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="IQ organization (Sec. III-B1)")
     parser.add_argument("--distributed", action="store_true",
                         help="distribute the IQ per FU class (Sec. III-C2)")
+    parser.add_argument("--smt", action="store_true",
+                        help="enable the SMT-interference co-runner "
+                             "(pollutes predictor/BTB/PUBS tables)")
+    parser.add_argument("--smt-interleave", type=int, default=64,
+                        metavar="N",
+                        help="commits between co-runner bursts "
+                             "(default 64; smaller = more interference)")
 
 
 def _shared_parent() -> argparse.ArgumentParser:
@@ -439,6 +450,12 @@ def _trace_store_for(args):
 
 def _cmd_trace(args) -> int:
     from .trace.store import REPLAY_MARGIN
+    if args.interval is not None and args.interval < 0:
+        # Fail here with the flag's own vocabulary instead of deep inside
+        # trace capture; 0 stays legal (it disables interval checkpoints).
+        print("error: --interval must be >= 0 "
+              "(0 disables interval checkpoints)", file=sys.stderr)
+        return 2
     store = _trace_store_for(args)
     names = [args.workload] if args.workload else sorted(spec2006_profiles())
     rows = []
@@ -482,6 +499,19 @@ def _cmd_sample(args) -> int:
         strategy = "adaptive"
     elif args.sampling == "fixed" and strategy == "adaptive":
         strategy = "simpoint"
+    # Validate the region arithmetic up front: a zero or negative count
+    # would otherwise surface as an opaque failure deep in trace capture
+    # or region scheduling.
+    for flag, value in (("--regions", args.regions),
+                        ("--measure", args.measure)):
+        if value is not None and value < 1:
+            print(f"error: {flag} must be a positive count, got {value}",
+                  file=sys.stderr)
+            return 2
+    if args.interval is not None and args.interval < 1:
+        print("error: --interval must be positive (sampled replay needs "
+              f"checkpoints), got {args.interval}", file=sys.stderr)
+        return 2
     config = _machine_from_args(args)
     names = args.workloads or sorted(spec2006_profiles())
     rows = []
@@ -549,6 +579,40 @@ def _cmd_profile(args) -> int:
     stats = pstats.Stats(profiler, stream=sys.stdout)
     stats.sort_stats(args.sort).print_stats(args.top)
     return 0
+
+
+def _cmd_stress(args) -> int:
+    from .workloads.stress import FAMILIES, run_families
+    if args.action == "list":
+        rows = [[f.name, f.knob, str(f.default),
+                 ",".join(str(k) for k in f.sweep), f.resource]
+                for f in FAMILIES.values()]
+        print(render_table(
+            ["family", "knob", "default", "sweep", "stressed resource"],
+            rows))
+        return 0
+    try:
+        reports = run_families(
+            args.families or None,
+            config=_machine_from_args(args),
+            knob=args.knob,
+            sweep=not args.no_sweep,
+            instructions=args.instructions,
+            skip=args.skip,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    failures = 0
+    for report in reports:
+        print(report.render())
+        print()
+        failures += not report.passed
+    total = len(reports)
+    noun = "family" if total == 1 else "families"
+    print(f"{total - failures}/{total} {noun} satisfied the "
+          "expected-bottleneck contract")
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -660,6 +724,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "CPI at 3%% relative error")
     _add_machine_args(p_smp)
 
+    p_st = sub.add_parser(
+        "stress",
+        help="stress-kernel families vs expected-bottleneck contracts "
+             "(DESIGN.md §13)")
+    p_st.add_argument("action", choices=["list", "run"])
+    p_st.add_argument("families", nargs="*",
+                      help="families to run (default: all; see 'stress "
+                           "list')")
+    p_st.add_argument("--knob", type=int, default=None,
+                      help="override the family's knob value (skips the "
+                           "knob-sweep checks, which only apply to the "
+                           "declared sweep)")
+    p_st.add_argument("--no-sweep", action="store_true",
+                      help="default-knob checks only, no sweep runs")
+    p_st.add_argument("-n", "--instructions", type=int, default=None,
+                      help="timed instructions per run (default: "
+                           "per-family)")
+    p_st.add_argument("--skip", type=int, default=None,
+                      help="warm-up instructions (default: per-family)")
+    _add_machine_args(p_st)
+
     p_prof = sub.add_parser(
         "profile", help="profile one simulation run with cProfile",
         parents=shared)
@@ -687,6 +772,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "sample": _cmd_sample,
     "profile": _cmd_profile,
+    "stress": _cmd_stress,
 }
 
 

@@ -202,7 +202,7 @@ class Pipeline:
         self._replay_prepared = False
         #: Hierarchy-counter baselines at the measurement start, so
         #: region stats report the measured window, not the warm phases.
-        self._mem_stats_base = (0, 0)
+        self._mem_stats_base = (0, 0, 0)
         #: Optional callback invoked with every committing uop (fidelity
         #: checks, tracing).  Keep it cheap: it runs on the commit path.
         self.commit_hook = None
@@ -220,6 +220,14 @@ class Pipeline:
             self.verifier = PipelineVerifier(
                 self, cfg.verify_level, cfg.verify_interval,
                 mem_seed=mem_seed)
+        #: SMT-interference co-runner (repro.core.smt): None when disabled
+        #: -- the uncontended hot path pays one attribute check per commit.
+        #: Injects only during timed commits (never the warm phase), so
+        #: live and replay runs see identical injection points.
+        self._smt = None
+        if cfg.smt.enabled:
+            from .smt import SmtInterference
+            self._smt = SmtInterference(cfg.smt)
 
     # ==================================================================
     # Public driver
@@ -291,7 +299,8 @@ class Pipeline:
         # only the measured window's misses.
         self.stats = SimStats()
         self._mem_stats_base = (self.hierarchy.stats.l2_misses,
-                                self.hierarchy.stats.l1d_misses)
+                                self.hierarchy.stats.l1d_misses,
+                                self.hierarchy.stats.l1i_misses)
 
     def _prewarm_regions(self) -> None:
         """Install the program's cacheable data regions into the L2.
@@ -533,9 +542,10 @@ class Pipeline:
             self.verifier.on_cycle()
 
     def _finalize_stats(self) -> None:
-        base_llc, base_l1d = self._mem_stats_base
+        base_llc, base_l1d, base_l1i = self._mem_stats_base
         self.stats.llc_misses = self.hierarchy.stats.l2_misses - base_llc
         self.stats.l1d_misses = self.hierarchy.stats.l1d_misses - base_l1d
+        self.stats.l1i_misses = self.hierarchy.stats.l1i_misses - base_l1i
 
     # ==================================================================
     # Commit
@@ -548,6 +558,7 @@ class Pipeline:
         stats = self.stats
         limit = self._commit_limit
         verifier = self.verifier
+        smt = self._smt
         for _ in range(self.config.commit_width):
             if limit is not None and stats.committed >= limit:
                 break
@@ -568,6 +579,8 @@ class Pipeline:
                     uop.inst.pc, correct=not uop.mispredicted
                 )
             stats.committed += 1
+            if smt is not None:
+                smt.on_commit(self)
             if verifier is not None:
                 verifier.on_commit(uop)
             if self.commit_hook is not None:
@@ -832,16 +845,20 @@ class Pipeline:
                     uop.unconfident = self.slice_tracker.on_decode(uop.inst)
             if rob.is_full():
                 stats.dispatch_stall_cycles += 1
+                stats.rob_full_stall_cycles += 1
                 break
             if uop.inst.is_mem and lsq.is_full():
                 stats.dispatch_stall_cycles += 1
+                stats.lsq_full_stall_cycles += 1
                 break
             if not renamer.can_rename(uop):
                 stats.dispatch_stall_cycles += 1
+                stats.regs_full_stall_cycles += 1
                 break
             slot = self._allocate_iq_slot(uop)
             if slot is None:
                 stats.dispatch_stall_cycles += 1
+                stats.iq_full_stall_cycles += 1
                 break
             frontend.popleft()
             renamer.rename(uop)

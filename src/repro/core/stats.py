@@ -36,8 +36,13 @@ class SimStats:
     missspec_iq_wait_cycles: int = 0
     missspec_execute_cycles: int = 0
 
-    # Dispatch behaviour.
+    # Dispatch behaviour.  The aggregate stall counter splits by cause:
+    # which full structure blocked the head of the dispatch group.
     dispatch_stall_cycles: int = 0
+    rob_full_stall_cycles: int = 0
+    iq_full_stall_cycles: int = 0  #: includes priority-partition stalls
+    lsq_full_stall_cycles: int = 0
+    regs_full_stall_cycles: int = 0  #: no free physical register
     priority_stall_cycles: int = 0  #: stalls caused by a full priority partition
     priority_dispatches: int = 0
     unconfident_dispatches: int = 0
@@ -48,6 +53,11 @@ class SimStats:
     # Memory (filled in from the hierarchy at the end of the run).
     llc_misses: int = 0
     l1d_misses: int = 0
+    l1i_misses: int = 0
+
+    # SMT interference (repro.core.smt): co-runner branches resolved
+    # against the shared predictor/BTB/confidence tables this run.
+    smt_injections: int = 0
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -68,6 +78,12 @@ class SimStats:
         if self.committed == 0:
             return 0.0
         return 1000.0 * self.llc_misses / self.committed
+
+    @property
+    def l1i_mpki(self) -> float:
+        if self.committed == 0:
+            return 0.0
+        return 1000.0 * self.l1i_misses / self.committed
 
     @property
     def prediction_accuracy(self) -> float:

@@ -43,7 +43,10 @@ from typing import Any
 #: trace format gained interval checkpoints (v2) -- a sampled region is an
 #: ordinary job whose key differs from the full run's, and every region of
 #: a sampling plan caches independently.
-CACHE_SCHEMA_VERSION = 4
+#: v5: ProcessorConfig grew the smt interference knobs and SimStats grew
+#: the stall-cause split, l1i_misses and smt_injections counters -- old
+#: cached results lack the new fields, so every key rolls over.
+CACHE_SCHEMA_VERSION = 5
 
 
 def canonicalize(obj: Any) -> Any:

@@ -1,7 +1,14 @@
-"""Synthetic SPEC2006-like workloads (the paper's benchmark substitution)."""
+"""Synthetic SPEC2006-like workloads (the paper's benchmark substitution).
+
+:mod:`repro.workloads.stress` adds per-resource stress-kernel families with
+expected-bottleneck contracts (DESIGN.md §13).
+"""
 
 from .generator import build_all, build_program
 from .profiles import WorkloadProfile, get_profile, spec2006_profiles
+from .stress import FAMILIES as STRESS_FAMILIES
+from .stress import run_families as run_stress_families
+from .stress import run_family as run_stress_family
 
 __all__ = [
     "build_all",
@@ -9,4 +16,7 @@ __all__ = [
     "WorkloadProfile",
     "get_profile",
     "spec2006_profiles",
+    "STRESS_FAMILIES",
+    "run_stress_families",
+    "run_stress_family",
 ]

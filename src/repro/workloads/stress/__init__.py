@@ -1,0 +1,32 @@
+"""Stress-kernel workload families with expected-bottleneck contracts.
+
+One parameterized kernel per CPU resource (branch direction, BTB targets,
+call/return depth, L1I, cache/TLB thrash, store buffer, store-to-load
+forwarding, dependent latency chains, issue-queue backlog), each shipping
+an :class:`~repro.workloads.stress.assertions.ExpectedBottleneck` contract
+that asserts the simulator actually bottlenecks on the targeted resource --
+a microarchitecture-level regression net alongside the synthetic SPEC-like
+profiles.  Run via ``repro stress`` or :func:`run_family`.
+"""
+
+from .assertions import (METRICS, CheckOutcome, ExpectedBottleneck,
+                         FamilyReport, MetricDominance, MetricThreshold,
+                         MonotonicKnob, metric_value)
+from .families import (FAMILIES, SMALL_BTB, StressFamily, run_families,
+                       run_family)
+
+__all__ = [
+    "METRICS",
+    "CheckOutcome",
+    "ExpectedBottleneck",
+    "FAMILIES",
+    "FamilyReport",
+    "MetricDominance",
+    "MetricThreshold",
+    "MonotonicKnob",
+    "SMALL_BTB",
+    "StressFamily",
+    "metric_value",
+    "run_families",
+    "run_family",
+]

@@ -143,6 +143,29 @@ class TestVerifyCommand:
         out = capsys.readouterr().out
         assert "interval ckpts" in out and "1024" in out
 
+    @pytest.mark.parametrize("argv", [
+        ["trace", "record", "--workload", "mcf", "--interval", "-3"],
+        ["sample", "mcf", "--regions", "0"],
+        ["sample", "mcf", "--regions", "-2"],
+        ["sample", "mcf", "--measure", "0"],
+        ["sample", "mcf", "--interval", "0"],
+    ])
+    def test_non_positive_knobs_rejected_up_front(self, capsys, argv,
+                                                  isolated_store):
+        # Regression: these used to fail deep inside capture/replay with
+        # an opaque traceback; now they exit 2 with a one-line error
+        # before any simulation work starts.
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert argv[-2].lstrip("-") in err  # names the offending flag
+
+    def test_trace_interval_zero_still_allowed(self, capsys,
+                                               isolated_store):
+        # 0 means "no interval checkpoints", which is a valid request.
+        assert main(["trace", "record", "--workload", "mcf", "-n", "1500",
+                     "--skip", "500", "--interval", "0"]) == 0
+
     def test_suite_replay_matches_live(self, capsys, isolated_store):
         # Regression: --frontend used to leak into _machine_from_args,
         # defeating the "no machine flags -> compare against PUBS"
@@ -157,3 +180,80 @@ class TestVerifyCommand:
         replay = capsys.readouterr().out
         assert "+0.00%" not in live
         assert replay == live
+
+
+class TestStressCommand:
+    def test_list_names_every_family(self, capsys):
+        from repro.workloads.stress import FAMILIES
+
+        assert main(["stress", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in FAMILIES:
+            assert name in out
+        assert "resource" in out
+
+    def test_run_one_family_passes(self, capsys):
+        assert main(["stress", "run", "load_after_store",
+                     "--no-sweep"]) == 0
+        out = capsys.readouterr().out
+        assert "load_after_store" in out and "[PASS]" in out
+        assert "1/1 family satisfied" in out
+
+    def test_contract_failure_exits_nonzero(self, capsys):
+        # bias_bits=12 defeats the H2P kernel, so its contract must fail
+        # and the command must say so through the exit code.
+        assert main(["stress", "run", "branch_h2p", "--knob", "12",
+                     "--no-sweep"]) == 1
+        out = capsys.readouterr().out
+        assert "BOTTLENECK CONTRACT FAILED" in out
+
+    def test_unknown_family_rejected(self, capsys):
+        assert main(["stress", "run", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
+
+    def test_stress_defaults(self):
+        args = build_parser().parse_args(["stress", "run"])
+        assert args.families == []
+        assert args.knob is None and not args.no_sweep
+
+
+class TestCacheStats:
+    """Regression: per-namespace rows must match what is on disk."""
+
+    def _kb(self, n: int) -> str:
+        return f"{n / 1024:.1f} KB"
+
+    def test_stats_report_per_namespace_usage(self, capsys, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        results = ResultCache(tmp_path)
+        traces = ResultCache.for_namespace("traces", tmp_path)
+        warm = ResultCache.for_namespace("warm", tmp_path)
+        results.put("r1", {"cpi": 1.0})
+        results.put("r2", {"cpi": 2.0})
+        traces.put("t1", b"x" * 4096)
+        warm.put("w1", {"state": list(range(64))})
+
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        cells = {}
+        for line in out.splitlines():
+            if "|" in line:
+                prop, _, value = line.partition("|")
+                cells[prop.strip()] = value.strip()
+
+        for name, ns in [("results", results), ("traces", traces),
+                         ("warm", warm)]:
+            assert cells[f"{name} entries"] == str(len(ns))
+            assert cells[f"{name} size"] == self._kb(ns.size_bytes())
+        assert cells["total entries"] == str(len(results) + len(traces)
+                                             + len(warm))
+        total_bytes = sum(ns.size_bytes()
+                          for ns in (results, traces, warm))
+        assert cells["total size"] == self._kb(total_bytes)
+
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "results entries" in out and "total entries" in out

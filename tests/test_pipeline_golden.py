@@ -41,9 +41,12 @@ GOLDEN_STATS = {
         "mispredictions": 40, "btb_misses_taken": 0,
         "missspec_penalty_cycles": 1624, "missspec_frontend_cycles": 231,
         "missspec_iq_wait_cycles": 1353, "missspec_execute_cycles": 40,
-        "dispatch_stall_cycles": 595, "priority_stall_cycles": 0,
+        "dispatch_stall_cycles": 595, "rob_full_stall_cycles": 462,
+        "iq_full_stall_cycles": 0, "lsq_full_stall_cycles": 0,
+        "regs_full_stall_cycles": 133, "priority_stall_cycles": 0,
         "priority_dispatches": 0, "unconfident_dispatches": 0,
-        "iq_occupancy_sum": 51336, "llc_misses": 1, "l1d_misses": 167,
+        "iq_occupancy_sum": 51336, "llc_misses": 1, "l1d_misses": 167, "l1i_misses": 0,
+        "smt_injections": 0,
     },
     "sjeng_pubs": {
         "cycles": 2659, "committed": 3000, "fetched": 4953,
@@ -51,9 +54,12 @@ GOLDEN_STATS = {
         "mispredictions": 40, "btb_misses_taken": 0,
         "missspec_penalty_cycles": 1019, "missspec_frontend_cycles": 404,
         "missspec_iq_wait_cycles": 575, "missspec_execute_cycles": 40,
-        "dispatch_stall_cycles": 1196, "priority_stall_cycles": 1186,
+        "dispatch_stall_cycles": 1196, "rob_full_stall_cycles": 10,
+        "iq_full_stall_cycles": 1186, "lsq_full_stall_cycles": 0,
+        "regs_full_stall_cycles": 0, "priority_stall_cycles": 1186,
         "priority_dispatches": 1114, "unconfident_dispatches": 2300,
-        "iq_occupancy_sum": 19916, "llc_misses": 1, "l1d_misses": 170,
+        "iq_occupancy_sum": 19916, "llc_misses": 1, "l1d_misses": 170, "l1i_misses": 0,
+        "smt_injections": 0,
     },
     "gcc_age": {
         "cycles": 3108, "committed": 3000, "fetched": 6142,
@@ -61,9 +67,12 @@ GOLDEN_STATS = {
         "mispredictions": 39, "btb_misses_taken": 0,
         "missspec_penalty_cycles": 1043, "missspec_frontend_cycles": 236,
         "missspec_iq_wait_cycles": 768, "missspec_execute_cycles": 39,
-        "dispatch_stall_cycles": 1172, "priority_stall_cycles": 0,
+        "dispatch_stall_cycles": 1172, "rob_full_stall_cycles": 0,
+        "iq_full_stall_cycles": 138, "lsq_full_stall_cycles": 0,
+        "regs_full_stall_cycles": 1034, "priority_stall_cycles": 0,
         "priority_dispatches": 0, "unconfident_dispatches": 0,
-        "iq_occupancy_sum": 60252, "llc_misses": 4, "l1d_misses": 179,
+        "iq_occupancy_sum": 60252, "llc_misses": 4, "l1d_misses": 179, "l1i_misses": 0,
+        "smt_injections": 0,
     },
     "mcf_dist_pubs": {
         "cycles": 25148, "committed": 3000, "fetched": 6033,
@@ -71,9 +80,12 @@ GOLDEN_STATS = {
         "mispredictions": 42, "btb_misses_taken": 0,
         "missspec_penalty_cycles": 13003, "missspec_frontend_cycles": 1755,
         "missspec_iq_wait_cycles": 11205, "missspec_execute_cycles": 43,
-        "dispatch_stall_cycles": 23642, "priority_stall_cycles": 2291,
+        "dispatch_stall_cycles": 23642, "rob_full_stall_cycles": 0,
+        "iq_full_stall_cycles": 2458, "lsq_full_stall_cycles": 0,
+        "regs_full_stall_cycles": 21184, "priority_stall_cycles": 2291,
         "priority_dispatches": 1081, "unconfident_dispatches": 3372,
-        "iq_occupancy_sum": 260198, "llc_misses": 314, "l1d_misses": 314,
+        "iq_occupancy_sum": 260198, "llc_misses": 314, "l1d_misses": 314, "l1i_misses": 0,
+        "smt_injections": 0,
     },
     "gobmk_shift": {
         "cycles": 3081, "committed": 3000, "fetched": 8765,
@@ -81,9 +93,12 @@ GOLDEN_STATS = {
         "mispredictions": 58, "btb_misses_taken": 0,
         "missspec_penalty_cycles": 1687, "missspec_frontend_cycles": 312,
         "missspec_iq_wait_cycles": 1317, "missspec_execute_cycles": 58,
-        "dispatch_stall_cycles": 393, "priority_stall_cycles": 0,
+        "dispatch_stall_cycles": 393, "rob_full_stall_cycles": 0,
+        "iq_full_stall_cycles": 312, "lsq_full_stall_cycles": 0,
+        "regs_full_stall_cycles": 81, "priority_stall_cycles": 0,
         "priority_dispatches": 0, "unconfident_dispatches": 0,
-        "iq_occupancy_sum": 80867, "llc_misses": 1, "l1d_misses": 180,
+        "iq_occupancy_sum": 80867, "llc_misses": 1, "l1d_misses": 180, "l1i_misses": 0,
+        "smt_injections": 0,
     },
 }
 

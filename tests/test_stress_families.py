@@ -1,0 +1,120 @@
+"""Stress-kernel families: every expected-bottleneck contract must hold.
+
+The families are fidelity probes for the timing model: each kernel hammers
+one resource and its :class:`~repro.workloads.stress.assertions.
+ExpectedBottleneck` contract asserts the simulator's bottleneck actually
+lands there.  The default-knob checks run for all families (the acceptance
+bar); full knob sweeps run for a representative cheap subset, and the CI
+``stress-assertions`` job exercises every sweep via ``repro stress run``.
+"""
+
+import pytest
+
+from repro.core import ProcessorConfig, simulate
+from repro.workloads.stress import (FAMILIES, MetricDominance,
+                                    MetricThreshold, MonotonicKnob,
+                                    metric_value, run_family)
+from repro.workloads.stress.assertions import CheckOutcome
+
+ALL_FAMILIES = sorted(FAMILIES)
+
+#: Cheap families whose full sweep runs inside the tier-1 suite; the rest
+#: sweep in the dedicated CI job to keep this suite quick.
+SWEPT_IN_TESTS = ("load_after_store", "dep_chain", "callret_depth")
+
+
+class TestCatalog:
+    def test_at_least_eight_families(self):
+        # The acceptance bar: >= 8 per-resource families.
+        assert len(FAMILIES) >= 8
+
+    def test_registry_is_consistent(self):
+        for name, fam in FAMILIES.items():
+            assert fam.name == name
+            assert fam.default in fam.sweep  # sweep covers the default
+            assert fam.contract.checks or fam.contract.sweep_checks
+
+    def test_kernels_build_valid_programs(self):
+        for fam in FAMILIES.values():
+            program = fam.build(fam.default)
+            assert len(program) > 0
+            assert program.name.startswith("stress_")
+
+
+@pytest.mark.parametrize("name", ALL_FAMILIES)
+def test_default_knob_contract(name):
+    """Every family passes its contract at the default knob."""
+    report = run_family(FAMILIES[name], sweep=False)
+    assert report.passed, "\n" + report.render()
+
+
+@pytest.mark.parametrize("name", SWEPT_IN_TESTS)
+def test_knob_sweep_contract(name):
+    """Representative families also pass their monotone sweep checks."""
+    report = run_family(FAMILIES[name])
+    assert report.passed, "\n" + report.render()
+
+
+class TestDeliberateFailure:
+    def test_predictable_knob_fails_h2p_contract(self):
+        # bias_bits=12 makes the "hard" branches trivially predictable, so
+        # the H2P contract must fail -- the harness can tell a stressed
+        # machine from an unstressed one.
+        report = run_family(FAMILIES["branch_h2p"], knob=12)
+        assert not report.passed
+        assert any("branch_mpki" in o.description for o in report.failures)
+
+    def test_report_render_names_the_failure(self):
+        report = run_family(FAMILIES["branch_h2p"], knob=12)
+        text = report.render()
+        assert "BOTTLENECK CONTRACT FAILED" in text
+        assert "[FAIL]" in text
+
+
+class TestChecks:
+    """Unit tests of the check primitives against a real result."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        fam = FAMILIES["dep_chain"]
+        return simulate(fam.build(fam.default), ProcessorConfig(),
+                        max_instructions=2000, skip_instructions=500)
+
+    def test_threshold_ops(self, result):
+        cpi = metric_value("cpi", result)
+        assert MetricThreshold("cpi", ">=", cpi - 0.1).evaluate(result).passed
+        assert not MetricThreshold("cpi", ">=",
+                                   cpi + 0.1).evaluate(result).passed
+        assert MetricThreshold("cpi", "<=", cpi + 0.1).evaluate(result).passed
+
+    def test_threshold_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            MetricThreshold("cpi", "==", 1.0)
+
+    def test_unknown_metric_rejected(self, result):
+        with pytest.raises(KeyError, match="unknown stress metric"):
+            metric_value("warp_drive_stalls", result)
+
+    def test_dominance(self, result):
+        # cpi >= 1 * ipc holds for any CPI >= 1 run; the inverse fails.
+        assert MetricDominance("cpi", "ipc").evaluate(result).passed
+        assert not MetricDominance("ipc", "cpi",
+                                   factor=10.0).evaluate(result).passed
+
+    def test_monotonic_checks_direction_and_span(self, result):
+        sweep = [(1, result), (2, result)]  # flat line
+        flat = MonotonicKnob("cpi", "increasing").evaluate(sweep)
+        assert flat.passed  # non-strict: flat is monotone...
+        spanned = MonotonicKnob("cpi", "increasing",
+                                min_span=0.5).evaluate(sweep)
+        assert not spanned.passed  # ...but cannot clear a required span
+
+    def test_monotonic_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            MonotonicKnob("cpi", "sideways")
+
+    def test_outcome_render(self):
+        ok = CheckOutcome("x >= 1", True, "x=2")
+        bad = CheckOutcome("x >= 1", False, "x=0")
+        assert "[PASS]" in ok.render()
+        assert "[FAIL]" in bad.render()
