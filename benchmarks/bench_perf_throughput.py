@@ -40,6 +40,19 @@ Three experiments share ``benchmarks/artifacts/perf_throughput.json``:
     and trains warm state once for the whole batch.  Batched must be at
     least 3x faster end to end -- the CI batched-replay gate -- and
     bit-identical per member (asserted).
+
+``paired``
+    Paired differential estimation + whole-table budget control
+    (DESIGN.md §14) vs per-cell independent adaptive sampling, at the
+    same CI target on the base-vs-PUBS mcf/sjeng/gcc table.  The
+    independent leg drives every (config, workload) cell's own CPI CI
+    to the target; the paired leg lets the :class:`TableController`
+    stop each workload as soon as the *paired speedup* CI -- the
+    table's actual deliverable -- meets the same target.  Gates: the
+    paired leg must simulate at least 2x fewer timed records in total,
+    its speedup point estimates must land within ``CPI_ERROR_GATE``
+    (3%) of the full-simulation speedups, and every workload's paired
+    CI must really meet the target.
 """
 
 import dataclasses
@@ -105,7 +118,8 @@ def _update_artifact(section, payload):
     # Drop anything that is not a current section (e.g. the pre-section
     # flat layout) so the artifact never accumulates stale keys.
     data = {k: v for k, v in data.items()
-            if k in ("sweep", "frontend", "sampling", "adaptive", "batched")}
+            if k in ("sweep", "frontend", "sampling", "adaptive", "batched",
+                     "paired")}
     data[section] = payload
     ARTIFACT.write_text(json.dumps(data, indent=2) + "\n")
 
@@ -593,3 +607,151 @@ def test_batched_replay_speedup(report):
     assert speedup >= BATCHED_MIN_SPEEDUP, \
         f"batched replay must run >= {BATCHED_MIN_SPEEDUP}x faster than " \
         f"sequential replay on this sweep, measured {speedup:.2f}x"
+
+
+# ----------------------------------------------------------------------
+# Paired estimation + table budget control vs per-cell adaptive
+# ----------------------------------------------------------------------
+
+#: The whole-table precision target both legs are driven to.  Tight
+#: enough that the independent leg must escalate per-cell CPI CIs well
+#: past the starting set (sjeng's and gcc's phase variance keeps their
+#: CPI CIs above it all the way to the region cap), while the paired
+#: speedup CI -- common-mode window variance cancelled -- meets it on
+#: the starting set.
+PAIRED_CI_TARGET = float(
+    os.environ.get("REPRO_BENCH_PAIRED_CI_TARGET", "0.025"))
+#: The paired/controller leg must spend at least this many times fewer
+#: simulated records than the independent leg at the same target.
+PAIRED_MIN_REDUCTION = 2.0
+#: The compared machines: a recovery-penalty sensitivity pair (the
+#: paper's central quantity).  The penalty delta costs each window in
+#: proportion to its mispredictions, so the per-window CPI *ratio* is
+#: phase-stable even where the CPIs themselves swing -- the regime the
+#: paired estimator exists for, and exactly the kind of design-space
+#: delta a table query compares.
+PAIRED_RECOVERY_PENALTY = 12
+#: Measurement window for both sampled legs.  Finer than the CPI
+#: benches' default: small windows resolve gcc's phase structure well
+#: enough that the three starting medoids weight the *ratio* correctly,
+#: while the extra per-window noise they add is common-mode and cancels
+#: in the pairing -- it only inflates the per-cell CPI CIs the
+#: independent leg chases, which is the cost asymmetry under test.
+PAIRED_MEASURE = int(os.environ.get("REPRO_BENCH_PAIRED_MEASURE", "512"))
+
+
+def test_paired_budget_reduction(report):
+    from repro.sampling import (
+        AdaptiveSession,
+        TableController,
+        paired_speedup,
+        sample_workload_adaptive_many,
+    )
+
+    base = ProcessorConfig.cortex_a72_like()
+    configs = {"base": base,
+               "slow-recovery": base.with_overrides(
+                   recovery_penalty=PAIRED_RECOVERY_PENALTY)}
+    store = TraceStore(persistent=False)
+
+    full_speedups = {}
+    independent = {}
+    controller = TableController(PAIRED_CI_TARGET, paired=True)
+    for workload in SAMPLING_WORKLOADS:
+        profile = get_profile(workload)
+        program = build_program(profile)
+        store.acquire(program, profile.mem_seed,
+                      SAMPLING_SKIP + SAMPLING_INSTRUCTIONS + REPLAY_MARGIN)
+        full_cpi = {}
+        for config_name, cfg in configs.items():
+            full = simulate(program, cfg.with_frontend("replay"),
+                            max_instructions=SAMPLING_INSTRUCTIONS,
+                            skip_instructions=SAMPLING_SKIP,
+                            mem_seed=profile.mem_seed, trace_source=store)
+            full_cpi[config_name] = full.stats.cycles / full.stats.committed
+        first, second = configs
+        full_speedups[workload] = full_cpi[first] / full_cpi[second]
+
+        # Leg A: every cell escalates to its own CPI CI target.
+        runs = sample_workload_adaptive_many(
+            workload, list(configs.values()),
+            instructions=SAMPLING_INSTRUCTIONS, skip=SAMPLING_SKIP,
+            ci_target=PAIRED_CI_TARGET, measure=PAIRED_MEASURE,
+            jobs=1, cache=False, store=store)
+        independent[workload] = sum(run.simulated_records for run in runs)
+
+        # Leg B: the controller stops on the paired speedup CI instead.
+        controller.add(workload, AdaptiveSession(
+            workload, list(configs.values()),
+            instructions=SAMPLING_INSTRUCTIONS, skip=SAMPLING_SKIP,
+            ci_target=PAIRED_CI_TARGET, measure=PAIRED_MEASURE,
+            jobs=1, cache=False, store=store))
+
+    controller.run()
+    table = controller.results()
+
+    rows = []
+    per_workload = {}
+    for workload in SAMPLING_WORKLOADS:
+        runs = table[workload]
+        estimate = paired_speedup(runs[0], runs[1])
+        assert estimate is not None, \
+            f"{workload}: lockstep escalation must keep the schedules " \
+            f"shared -- pairing cannot fall back here"
+        paired_records = sum(run.simulated_records for run in runs)
+        error = abs(estimate.point / full_speedups[workload] - 1.0)
+        per_workload[workload] = {
+            "full_speedup": full_speedups[workload],
+            "paired_speedup": estimate.point,
+            "error": error,
+            "paired_relative_ci": estimate.relative_error,
+            "shared_regions": estimate.n,
+            "independent_records": independent[workload],
+            "paired_records": paired_records,
+            "converged": runs[0].converged,
+        }
+        rows.append([workload, f"{full_speedups[workload]:.4f}",
+                     f"{estimate.point:.4f}", f"{error:.2%}",
+                     f"{estimate.relative_error:.2%}",
+                     str(independent[workload]), str(paired_records)])
+        assert error <= CPI_ERROR_GATE, \
+            f"{workload}: paired speedup off by {error:.2%} from the " \
+            f"full simulation (gate {CPI_ERROR_GATE:.0%})"
+        assert runs[0].converged \
+            and estimate.relative_error <= PAIRED_CI_TARGET, \
+            f"{workload}: controller stopped at paired CI " \
+            f"{estimate.relative_error:.2%} without meeting the " \
+            f"{PAIRED_CI_TARGET:.2%} target"
+
+    independent_records = sum(independent.values())
+    paired_records = controller.simulated_records
+    reduction = independent_records / paired_records \
+        if paired_records else 0.0
+    artifact = {
+        "workloads": SAMPLING_WORKLOADS,
+        "instructions": SAMPLING_INSTRUCTIONS,
+        "skip": SAMPLING_SKIP,
+        "measure": PAIRED_MEASURE,
+        "ci_target": PAIRED_CI_TARGET,
+        "error_gate": CPI_ERROR_GATE,
+        "per_workload": per_workload,
+        "independent_records": independent_records,
+        "paired_records": paired_records,
+        "reduction": reduction,
+        "min_reduction": PAIRED_MIN_REDUCTION,
+    }
+    _update_artifact("paired", artifact)
+
+    rows.append(["total", "", "", "", "", str(independent_records),
+                 f"{paired_records} ({reduction:.2f}x less, "
+                 f"gate: {PAIRED_MIN_REDUCTION}x)"])
+    report(f"Paired + table-budget vs per-cell adaptive at CI target "
+           f"{PAIRED_CI_TARGET:.1%} (artifact: {ARTIFACT.name})",
+           render_table(["workload", "full speedup", "paired speedup",
+                         "error", "paired CI", "indep records",
+                         "paired records"], rows))
+
+    assert reduction >= PAIRED_MIN_REDUCTION, \
+        f"paired/table-budget estimation must reach the {PAIRED_CI_TARGET:.2%} " \
+        f"whole-table target with >= {PAIRED_MIN_REDUCTION}x fewer simulated " \
+        f"records than per-cell adaptive, measured {reduction:.2f}x"

@@ -288,6 +288,60 @@ def _sampled_cell(workload: "str | WorkloadProfile",
     return _sampled_row(workload, [config], req, executor)[0]
 
 
+def _sampled_table(profiles: "list[WorkloadProfile]",
+                   configs: "Mapping[str, ProcessorConfig]",
+                   req: RunRequest,
+                   executor: SweepExecutor
+                   ) -> "Dict[str, Dict[str, WorkloadRun]]":
+    """A whole adaptive table under one budget controller.
+
+    Every workload becomes an :class:`~repro.sampling.adaptive.
+    AdaptiveSession` (all configs in lockstep); the
+    :class:`~repro.sampling.controller.TableController` then escalates
+    whichever workload has the worst CI-to-target ratio until the whole
+    table meets the target.  A workload whose trace cannot be captured
+    falls back to full simulations at session-construction time -- the
+    rest of the table still goes through the controller.
+    """
+    from ..sampling.adaptive import AdaptiveSession, DEFAULT_CI_TARGET
+    from ..sampling.controller import TableController
+    instructions, skip = _budget(req)
+    ci_target = DEFAULT_CI_TARGET if req.ci_target is None else req.ci_target
+    controller = TableController(ci_target,
+                                 paired=req.paired is not False)
+    cfgs = [_resolve_config(config, req.frontend)
+            for config in configs.values()]
+    fallback: "Dict[str, list[WorkloadRun]]" = {}
+    for profile in profiles:
+        try:
+            controller.add(profile.name, AdaptiveSession(
+                profile, cfgs, instructions=instructions, skip=skip,
+                ci_target=ci_target, measure=req.measure,
+                **({} if req.warmup is None else {"warmup": req.warmup}),
+                detail=req.detail, regions=req.regions,
+                max_fraction=req.max_fraction,
+                checkpoint_interval=req.checkpoint_interval,
+                executor=executor))
+        except (OSError, TraceFormatError) as exc:
+            fulls = executor.run([SimJob(profile, cfg, instructions, skip)
+                                  for cfg in cfgs])
+            reason = f"{type(exc).__name__}: {exc}"
+            fallback[profile.name] = [
+                WorkloadRun(profile.name, full=full, fallback_reason=reason)
+                for full in fulls]
+    controller.run()
+    table = controller.results()
+    results_by_config: "Dict[str, Dict[str, WorkloadRun]]" = \
+        {config_name: {} for config_name in configs}
+    for profile in profiles:
+        cells = [WorkloadRun(profile.name, sampled=run)
+                 for run in table[profile.name]] \
+            if profile.name in table else fallback[profile.name]
+        for config_name, cell in zip(configs, cells):
+            results_by_config[config_name][profile.name] = cell
+    return results_by_config
+
+
 @dataclass
 class PairedRun:
     """Base-vs-variant results for one workload (same dynamic stream).
@@ -296,12 +350,18 @@ class PairedRun:
     full simulations and the classic :attr:`base`/:attr:`variant`
     results remain available, while sampled pairs carry CI-annotated
     estimates and propagate their uncertainty into
-    :attr:`speedup_ci95`.
+    :attr:`speedup_ci95`.  When both cells sampled the *same* region
+    schedule the speedup CI is the paired jackknife
+    (:mod:`repro.sampling.paired`) -- common-mode window variance
+    cancels, so it is much tighter than combining the two CPI CIs in
+    quadrature; quadrature remains the fallback for genuinely different
+    schedules (or ``use_paired=False``).
     """
 
     name: str
     base_cell: WorkloadRun
     variant_cell: WorkloadRun
+    use_paired: bool = True
 
     @property
     def base(self) -> Optional[SimulationResult]:
@@ -322,14 +382,48 @@ class PairedRun:
         return (self.speedup - 1.0) * 100.0
 
     @property
+    def paired(self):
+        """The paired speedup estimate, when pairing applies.
+
+        Requires two sampled cells over the identical region schedule
+        (and ``use_paired``); None otherwise.  Its point estimate
+        equals :attr:`speedup` -- pairing changes the error claim, not
+        the headline number.
+        """
+        if not (self.use_paired and self.base_cell.is_sampled
+                and self.variant_cell.is_sampled):
+            return None
+        from ..sampling.paired import paired_speedup  # runner <-> sampling
+        return paired_speedup(self.base_cell.sampled,
+                              self.variant_cell.sampled)
+
+    @property
+    def ci_method(self) -> str:
+        """How :attr:`speedup_relative_ci` was obtained.
+
+        ``"paired"`` (common-regions jackknife), ``"quadrature"``
+        (independent per-side CIs combined) or ``"exact"`` (both cells
+        full simulations -- no sampling error to claim).
+        """
+        if self.paired is not None:
+            return "paired"
+        if self.base_cell.is_sampled or self.variant_cell.is_sampled:
+            return "quadrature"
+        return "exact"
+
+    @property
     def speedup_relative_ci(self) -> float:
         """Relative ~95% half-width on the speedup; NaN when exact.
 
-        The two cells are estimated from disjoint region simulations, so
-        their relative errors combine in quadrature.  A full cell
-        contributes zero sampling error; a sampled cell whose own CI is
-        undefined (single region) makes the speedup CI NaN -- no claim.
+        Paired jackknife over the shared windows when both cells
+        sampled the same schedule; otherwise the per-side relative
+        errors combine in quadrature (independent regions).  A full
+        cell contributes zero sampling error; an undefined CI (single
+        region either way) stays NaN -- no claim.
         """
+        estimate = self.paired
+        if estimate is not None:
+            return estimate.relative_error
         rels = [cell.relative_ci
                 for cell in (self.base_cell, self.variant_cell)
                 if cell.is_sampled]
@@ -355,28 +449,36 @@ def run_pair(
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
     batch: Optional[int] = None,
+    paired: Optional[bool] = None,
     request: Optional[RunRequest] = None,
+    executor: Optional[SweepExecutor] = None,
 ) -> PairedRun:
     """Run base and variant on the identical dynamic instruction stream.
 
     With a sampled mode both sides estimate from the *same* windows of
     the same recorded trace (the plans derive from the trace alone, not
     the machine), so the paired-stream property the full path guarantees
-    carries over to the sampled one.  Either way both sides go through
-    the executor in one submission, so replay-mode pairs that share a
-    warm class run as one batched trace walk.
+    carries over to the sampled one -- and the speedup CI is the paired
+    jackknife over those shared windows unless ``paired`` resolves off.
+    Either way both sides go through the executor in one submission, so
+    replay-mode pairs that share a warm class run as one batched trace
+    walk.  ``executor`` overrides the executor (e.g. to read its cache
+    stats afterwards).
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target, batch=batch)
+                         sampling=sampling, ci_target=ci_target, batch=batch,
+                         paired=paired)
     profile = get_profile(workload) if isinstance(workload, str) else workload
-    executor = _executor_for(req.jobs, req.cache, req.batch)
+    runner = executor if executor is not None \
+        else _executor_for(req.jobs, req.cache, req.batch)
     if req.sampling != "off":
         base_cell, variant_cell = _sampled_row(
-            profile, [base_config, variant_config], req, executor)
-        return PairedRun(profile.name, base_cell, variant_cell)
+            profile, [base_config, variant_config], req, runner)
+        return PairedRun(profile.name, base_cell, variant_cell,
+                         use_paired=req.paired is not False)
     instructions, skip = _budget(req)
-    base, variant = executor.run([
+    base, variant = runner.run([
         SimJob(profile, _resolve_config(base_config, req.frontend),
                instructions, skip),
         SimJob(profile, _resolve_config(variant_config, req.frontend),
@@ -398,6 +500,8 @@ def run_suite(
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
     batch: Optional[int] = None,
+    paired: Optional[bool] = None,
+    table_budget: Optional[bool] = None,
     request: Optional[RunRequest] = None,
     executor: Optional[SweepExecutor] = None,
 ) -> "Dict[str, Dict[str, SimulationResult]] | Dict[str, Dict[str, WorkloadRun]]":
@@ -411,17 +515,23 @@ def run_suite(
     (:mod:`repro.batch`).  The sampled modes return
     :class:`WorkloadRun` cells instead -- each workload's configs
     sample the same windows and submit together, so every config of one
-    region window becomes one batched trace walk.  ``executor``
-    overrides the executor used either way (e.g. to read its cache
-    stats afterwards).
+    region window becomes one batched trace walk.  Adaptive sampling
+    additionally routes through the whole-table budget controller
+    (unless ``table_budget`` resolves off): escalation spends where the
+    table's CI-to-target ratio is worst instead of driving every cell
+    to its own target.  ``executor`` overrides the executor used either
+    way (e.g. to read its cache stats afterwards).
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target, batch=batch)
+                         sampling=sampling, ci_target=ci_target, batch=batch,
+                         paired=paired, table_budget=table_budget)
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
     profiles = [get_profile(name) for name in names]
     runner = executor if executor is not None \
         else _executor_for(req.jobs, req.cache, req.batch)
+    if req.sampling == "adaptive" and req.table_budget is not False:
+        return _sampled_table(profiles, configs, req, runner)
     if req.sampling != "off":
         results_by_config: "Dict[str, Dict[str, WorkloadRun]]" = \
             {config_name: {} for config_name in configs}

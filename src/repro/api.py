@@ -19,6 +19,13 @@ keyword vocabulary:
 ``batch``
     max replay configs sharing one batched trace walk
     (None -> ``REPRO_BATCH`` -> 16; 0/1 disables batching);
+``paired``
+    report sampled comparisons with the common-regions paired CI
+    (None -> ``REPRO_PAIRED`` -> on; off combines in quadrature);
+``table_budget``
+    adaptive suites spend the escalation budget table-wide -- on the
+    workload with the worst CI-to-target ratio -- instead of driving
+    every cell to its own target (None -> ``REPRO_TABLE_BUDGET`` -> on);
 ``request``
     a :class:`RunRequest` bundling all of the above -- explicit
     keywords override its fields, the environment fills what is left,
@@ -46,18 +53,25 @@ from .batch import run_batch
 from .core.config import ProcessorConfig, RunRequest
 from .sampling.adaptive import (
     AdaptiveRun,
+    AdaptiveSession,
     sample_workload_adaptive,
     sample_workload_adaptive_many,
 )
+from .sampling.controller import TableController
+from .sampling.paired import PairedEstimate, paired_speedup
 from .sampling.run import SampledRun, sample_workload, sample_workload_many
 
 __all__ = [
     "AdaptiveRun",
+    "AdaptiveSession",
+    "PairedEstimate",
     "PairedRun",
     "ProcessorConfig",
     "RunRequest",
     "SampledRun",
+    "TableController",
     "WorkloadRun",
+    "paired_speedup",
     "run_batch",
     "run_pair",
     "run_suite",

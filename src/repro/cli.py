@@ -43,6 +43,7 @@ from typing import List, Optional
 from .analysis import geometric_mean, render_table
 from .api import (
     AdaptiveRun,
+    PairedRun,
     RunRequest,
     WorkloadRun,
     run_pair,
@@ -102,6 +103,23 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                              "(default 64; smaller = more interference)")
 
 
+def _positive_float(text: str) -> float:
+    """argparse type for fractions that must be > 0 (e.g. --ci-target).
+
+    Raising :class:`argparse.ArgumentTypeError` makes argparse exit
+    with status 2 and the flag's own usage message, instead of a deep
+    ``ValueError`` traceback from the sampling layer.
+    """
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive fraction, got {text}")
+    return value
+
+
 def _shared_parent() -> argparse.ArgumentParser:
     """The execution flags every simulating subcommand shares.
 
@@ -126,7 +144,7 @@ def _shared_parent() -> argparse.ArgumentParser:
                         help="estimate from sampled regions instead of "
                              "simulating the whole span (default: "
                              "REPRO_SAMPLING, else off)")
-    parent.add_argument("--ci-target", type=float, default=None,
+    parent.add_argument("--ci-target", type=_positive_float, default=None,
                         metavar="FRAC",
                         help="relative CI half-width adaptive sampling "
                              "drives toward (default: REPRO_CI_TARGET, "
@@ -135,6 +153,15 @@ def _shared_parent() -> argparse.ArgumentParser:
                         help="max replay configs sharing one batched trace "
                              "walk (default: REPRO_BATCH, else 16; 0 or 1 "
                              "disables batching)")
+    parent.add_argument("--no-paired", action="store_true",
+                        help="combine sampled comparison CIs in quadrature "
+                             "instead of the common-regions paired "
+                             "jackknife (default: paired, or REPRO_PAIRED)")
+    parent.add_argument("--no-table-budget", action="store_true",
+                        help="adaptive suites: drive every cell to its own "
+                             "CI target instead of spending the budget on "
+                             "the table's worst CI-to-target ratio "
+                             "(default: table-wide, or REPRO_TABLE_BUDGET)")
     return parent
 
 
@@ -172,6 +199,9 @@ def _request_from_args(args) -> RunRequest:
         warmup=getattr(args, "warmup", None),
         detail=getattr(args, "detail", None),
         max_fraction=getattr(args, "fraction", None),
+        paired=False if getattr(args, "no_paired", False) else None,
+        table_budget=False if getattr(args, "no_table_budget", False)
+        else None,
     )
 
 
@@ -207,6 +237,20 @@ def _note_fallback(cell: WorkloadRun, label: str = "") -> None:
         where = f" for {label}" if label else ""
         print(f"  note: sampling fell back to full simulation{where} "
               f"({cell.fallback_reason})", file=sys.stderr)
+
+
+def _print_spend(cells: "list[WorkloadRun]", executor: SweepExecutor) -> None:
+    """One-line spend summary for a sampled table or pair.
+
+    Makes the budget controller's savings visible at the prompt:
+    total timed records bought, over how many sampled regions, and the
+    executor's dedup/cache accounting for the same submissions.
+    """
+    records = sum(cell.simulated_records for cell in cells)
+    regions = sum(len(cell.sampled.results) for cell in cells
+                  if cell.is_sampled)
+    print(f"spend: {records} simulated records across {regions} sampled "
+          f"regions [{executor.summary()}]")
 
 
 def _cmd_list(args) -> int:
@@ -272,8 +316,10 @@ def _cmd_compare(args) -> int:
     variant = _machine_from_args(args)
     if variant == base:  # default comparison is against PUBS
         variant = base.with_pubs()
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
+                             batch=args.batch)
     pair = run_pair(args.workload, base, variant,
-                    request=_request_from_args(args))
+                    request=_request_from_args(args), executor=executor)
     bc, vc = pair.base_cell, pair.variant_cell
     if bc.is_sampled or vc.is_sampled or bc.fallback_reason \
             or vc.fallback_reason:
@@ -290,11 +336,14 @@ def _cmd_compare(args) -> int:
         ]))
         rel = pair.speedup_relative_ci
         if math.isnan(rel):
-            print(f"\nspeedup: {pair.speedup_percent:+.2f}% (95% CI n/a)")
+            print(f"\nspeedup: {pair.speedup_percent:+.2f}% (95% CI n/a, "
+                  f"{pair.ci_method})")
         else:
             lo, hi = pair.speedup_ci95
             print(f"\nspeedup: {pair.speedup_percent:+.2f}% "
-                  f"(95% CI {(lo - 1) * 100:+.2f}% .. {(hi - 1) * 100:+.2f}%)")
+                  f"(95% CI {(lo - 1) * 100:+.2f}% .. {(hi - 1) * 100:+.2f}%, "
+                  f"{pair.ci_method})")
+        _print_spend([bc, vc], executor)
         return 0
     b, v = pair.base.stats, pair.variant.stats
     print(render_table(["metric", "base", "variant"], [
@@ -319,8 +368,10 @@ def _cmd_suite(args) -> int:
     # hit/miss summary below covers every cell, sampled or not.
     executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
                              batch=args.batch)
+    req = _request_from_args(args)
     results = run_suite({"base": base, "variant": variant}, names,
-                        request=_request_from_args(args), executor=executor)
+                        request=req, executor=executor)
+    use_paired = req.resolved().paired is not False
     sampled_mode = any(isinstance(cell, WorkloadRun)
                        for cell in results["base"].values())
     rows = []
@@ -332,10 +383,9 @@ def _cmd_suite(args) -> int:
             _note_fallback(variant_r, f"{name} variant")
             speedup = variant_r.ipc / base_r.ipc
             branch_mpki, llc_mpki = _cell_mpki(base_r)
-            rels = [c.relative_ci for c in (base_r, variant_r)
-                    if c.is_sampled]
-            ci_txt = "exact" if not rels else _pct(
-                math.sqrt(sum(r * r for r in rels)))
+            pair = PairedRun(name, base_r, variant_r, use_paired=use_paired)
+            ci_txt = "exact" if pair.ci_method == "exact" \
+                else _pct(pair.speedup_relative_ci)
         else:
             speedup = variant_r.stats.ipc / base_r.stats.ipc
             branch_mpki = base_r.stats.branch_mpki
@@ -354,6 +404,9 @@ def _cmd_suite(args) -> int:
     if sampled_mode:
         header.append("95% CI")
     print(render_table(header, rows))
+    if sampled_mode:
+        _print_spend([cell for row in results.values()
+                      for cell in row.values()], executor)
     if dbp_ratios:
         print(f"\nGM D-BP: {(geometric_mean(dbp_ratios) - 1) * 100:+.2f}%")
     if ebp_ratios:

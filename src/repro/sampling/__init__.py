@@ -18,7 +18,14 @@ See DESIGN.md §10.  Public surface:
   until the CI half-width meets ``ci_target`` or the region cap;
 * :class:`~repro.sampling.aggregate.SampledEstimate` -- weighted
   whole-span point estimate with per-region spread (reuses
-  :class:`~repro.analysis.robustness.SweepSummary`'s n>=2 honesty rule).
+  :class:`~repro.analysis.robustness.SweepSummary`'s n>=2 honesty rule);
+* :func:`~repro.sampling.paired.paired_speedup` /
+  :class:`~repro.sampling.paired.PairedEstimate` -- common-regions
+  paired-jackknife speedup CI over two runs' shared windows;
+* :class:`~repro.sampling.controller.TableController` /
+  :class:`~repro.sampling.adaptive.AdaptiveSession` -- whole-table
+  budget control: escalate whichever workload has the worst
+  CI-to-target ratio until the table meets the target.
 """
 
 from .adaptive import (
@@ -28,8 +35,15 @@ from .adaptive import (
     DEFAULT_START_REGIONS,
     AdaptiveRound,
     AdaptiveRun,
+    AdaptiveSession,
     sample_workload_adaptive,
     sample_workload_adaptive_many,
+)
+from .controller import TableController
+from .paired import (
+    PairedEstimate,
+    paired_speedup,
+    shared_schedule,
 )
 from .aggregate import (
     CI_RELATIVE_FLOOR,
@@ -81,10 +95,13 @@ __all__ = [
     "DEFAULT_WARMUP",
     "AdaptiveRound",
     "AdaptiveRun",
+    "AdaptiveSession",
+    "PairedEstimate",
     "Region",
     "RegionPlan",
     "SampledEstimate",
     "SampledRun",
+    "TableController",
     "acquire_span_trace",
     "assign_windows",
     "cluster_windows",
@@ -96,8 +113,10 @@ __all__ = [
     "sample_workload",
     "sample_workload_adaptive",
     "sample_workload_adaptive_many",
+    "paired_speedup",
     "sample_workload_many",
     "sampled_vs_full_error",
+    "shared_schedule",
     "signature_distance",
     "weighted_ratio",
     "window_signature",

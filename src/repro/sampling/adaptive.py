@@ -183,6 +183,286 @@ class _EscalationState:
     active: bool = True
 
 
+def _validate_schedule_params(ci_target: float, start_regions: int,
+                              batch: int, regions: Optional[int],
+                              instructions: int, skip: int) -> None:
+    """The parameter checks that precede any trace or profile work."""
+    if ci_target <= 0:
+        raise ValueError("ci_target must be positive")
+    if start_regions < 2:
+        raise ValueError("start_regions must be at least 2 (a single "
+                         "region supports no CI claim)")
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    if regions is not None and regions < start_regions:
+        raise ValueError("regions cap must cover the starting set")
+    if instructions < 1:
+        raise ValueError("instructions must be positive")
+    if skip < 0:
+        raise ValueError("skip must be non-negative")
+
+
+class AdaptiveSession:
+    """One workload's lockstep escalation state across several configs.
+
+    Owns everything the escalation loop walks -- the trace-derived
+    window signatures, each config's cluster set, the simulated regions
+    and the per-round history -- and exposes it at two grains:
+
+    * :meth:`run_per_cell` -- the classic loop: every config escalates
+      until its *own* CPI CI meets ``ci_target`` (or the cap binds).
+      :func:`sample_workload_adaptive_many` is exactly this.
+    * :meth:`measure_all` / :meth:`escalate_all` -- one round at a
+      time, all configs advancing in strict lockstep regardless of
+      their individual CPI CIs, for an external budget controller
+      (:mod:`repro.sampling.controller`) that decides *where* the next
+      batch is spent.  Lockstep keeps every config on the identical
+      region schedule, which is what keeps the windows shared for the
+      paired estimator (:mod:`repro.sampling.paired`).
+
+    Both grains walk the same deterministic split sequence and submit
+    the same region jobs, so their cache keys are interchangeable: a
+    controller-driven table re-uses (and pre-warms) the entries a
+    standalone adaptive run would hit, and vice versa.
+    """
+
+    def __init__(self,
+                 workload: Union[str, WorkloadProfile],
+                 configs: "Sequence[Optional[ProcessorConfig]]",
+                 instructions: int = 20_000,
+                 skip: int = 2_000,
+                 ci_target: float = DEFAULT_CI_TARGET,
+                 measure: Optional[int] = None,
+                 warmup: Optional[int] = DEFAULT_WARMUP,
+                 detail: Optional[int] = None,
+                 start_regions: int = DEFAULT_START_REGIONS,
+                 batch: int = DEFAULT_BATCH,
+                 regions: Optional[int] = None,
+                 max_fraction: Optional[float] = None,
+                 checkpoint_interval: Optional[int] = None,
+                 executor: Optional[SweepExecutor] = None,
+                 jobs: Optional[int] = None,
+                 cache: "Optional[bool]" = None,
+                 store: Optional[TraceStore] = None) -> None:
+        _validate_schedule_params(ci_target, start_regions, batch, regions,
+                                  instructions, skip)
+        if not configs:
+            raise ValueError("an adaptive session needs at least one config")
+        self.profile = get_profile(workload) if isinstance(workload, str) \
+            else workload
+        bases = [config or ProcessorConfig.cortex_a72_like()
+                 for config in configs]
+        max_fraction = DEFAULT_MAX_FRACTION if max_fraction is None \
+            else max_fraction
+        if not 0 < max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
+        budget = max(1, int(instructions * max_fraction))
+        measure = DEFAULT_MEASURE if measure is None else measure
+        if measure < 1:
+            raise ValueError("measure must be positive")
+        measure = min(measure, budget)
+        detail = measure // 4 if detail is None else detail
+        if detail < 0:
+            raise ValueError("detail must be non-negative")
+        detail = min(detail, budget - measure)
+        if warmup is not None and warmup < 0:
+            raise ValueError("warmup must be non-negative")
+
+        self.instructions = instructions
+        self.skip = skip
+        self.ci_target = ci_target
+        self.batch = batch
+        self._measure = measure
+        self._warmup = warmup
+        self._detail = detail
+
+        self._trace = acquire_span_trace(self.profile, instructions, skip,
+                                         checkpoint_interval, store)
+        windows = max(1, instructions // measure)
+        self.cap = min(regions if regions is not None else DEFAULT_ADAPTIVE_CAP,
+                       max(1, budget // (measure + detail)),
+                       windows)
+        self._signatures = [
+            window_signature(self._trace, skip + i * measure, measure)
+            for i in range(windows)]
+
+        medoids, _ = cluster_windows(self._signatures,
+                                     min(start_regions, self.cap))
+        assignment = assign_windows(self._signatures, medoids)
+        initial = [(m, [i for i, a in enumerate(assignment) if a == slot])
+                   for slot, m in enumerate(medoids)]
+        self._runner = executor if executor is not None \
+            else SweepExecutor(jobs=jobs, cache=cache)
+        self.states = [_EscalationState(
+            base=base,
+            clusters=[_Cluster(m, list(members)) for m, members in initial],
+            simulated={}, rounds=[]) for base in bases]
+
+    # ------------------------------------------------------------------
+    # Shared round machinery
+    # ------------------------------------------------------------------
+
+    def _region(self, window: int, weight: int = 1) -> Region:
+        return _window_region(window, self._measure, self.skip,
+                              self._warmup, self._detail, weight)
+
+    def _planned_records(self, state: _EscalationState) -> int:
+        """Timed records of the state's planned regions, clamps included.
+
+        Derived from the actual :class:`Region` objects, so the
+        early-window ``detail`` clamp (a window too close to record 0
+        cannot fit the full detailed warmup before it) is reflected
+        instead of the nominal ``regions * (measure + detail)``.
+        """
+        return sum(self._measure + self._region(c.medoid).detail
+                   for c in state.clusters)
+
+    def _simulate_pending(self,
+                          states: "Sequence[_EscalationState]") -> None:
+        """One executor submission for every unsimulated medoid."""
+        requests: List[Tuple[_EscalationState, int]] = []
+        for state in states:
+            requests.extend(
+                (state, c.medoid) for c in state.clusters
+                if c.medoid not in state.simulated)
+        if not requests:
+            return
+        jobs_batch = [
+            SimJob(self.profile,
+                   state.base.with_region(r.start, r.warmup, r.detail),
+                   r.measure, 0)
+            for state, r in ((state, self._region(m))
+                             for state, m in requests)]
+        for (state, m), result in zip(requests, self._runner.run(jobs_batch)):
+            state.simulated[m] = result
+
+    def _evaluate(self, state: _EscalationState) -> float:
+        """Aggregate one state's regions and append its round record."""
+        ordered = sorted(state.clusters, key=lambda c: c.medoid)
+        results = [state.simulated[c.medoid] for c in ordered]
+        weights = [len(c.members) for c in ordered]
+        relative = estimate_cpi(results, weights).relative_error
+        state.rounds.append(AdaptiveRound(
+            regions=len(state.clusters),
+            simulated_records=self._planned_records(state),
+            relative_ci=relative))
+        return relative
+
+    def _split(self, state: _EscalationState) -> bool:
+        """Split up to ``batch`` clusters; False when nothing split."""
+        split_any = False
+        for _ in range(min(self.batch, self.cap - len(state.clusters))):
+            target = _next_split(state.clusters, self._signatures)
+            if target is None:
+                break
+            kept, new = _split_cluster(state.clusters[target],
+                                       self._signatures)
+            state.clusters[target] = kept
+            state.clusters.append(new)
+            split_any = True
+        return split_any
+
+    # ------------------------------------------------------------------
+    # Per-cell loop (the classic adaptive contract)
+    # ------------------------------------------------------------------
+
+    def run_per_cell(self) -> None:
+        """Escalate until every config meets its own CI target or cap."""
+        while any(state.active for state in self.states):
+            self._simulate_pending([s for s in self.states if s.active])
+            for state in self.states:
+                if not state.active:
+                    continue
+                relative = self._evaluate(state)
+                if relative == relative and relative <= self.ci_target:
+                    state.converged = True
+                    state.active = False
+                    continue
+                if len(state.clusters) >= self.cap:
+                    state.active = False
+                    continue
+                if not self._split(state):
+                    state.active = False
+
+    # ------------------------------------------------------------------
+    # Controller interface (lockstep rounds, external stop decision)
+    # ------------------------------------------------------------------
+
+    def measure_all(self) -> None:
+        """Simulate every pending region and record one round per config."""
+        self._simulate_pending(self.states)
+        for state in self.states:
+            self._evaluate(state)
+
+    def escalate_all(self) -> bool:
+        """Split every config's clusters one batch, in lockstep.
+
+        Every config splits identically (splitting is signature-driven,
+        not result-driven), so the schedules stay window-for-window
+        aligned.  Returns False when no config could split -- the cap
+        binds or no cluster has two members -- which closes the session
+        for the controller.  Call :meth:`measure_all` afterwards to
+        simulate the new representatives.
+        """
+        split_any = False
+        for state in self.states:
+            if len(state.clusters) >= self.cap:
+                continue
+            split_any |= self._split(state)
+        return split_any
+
+    @property
+    def can_escalate(self) -> bool:
+        """True while another lockstep round could add regions."""
+        return any(len(state.clusters) < self.cap
+                   and _next_split(state.clusters, self._signatures)
+                   is not None
+                   for state in self.states)
+
+    @property
+    def simulated_records(self) -> int:
+        """Timed records planned across every config, clamps included."""
+        return sum(self._planned_records(state) for state in self.states)
+
+    @property
+    def regions(self) -> int:
+        """Scheduled regions summed across configs."""
+        return sum(len(state.clusters) for state in self.states)
+
+    def runs(self, converged: "Optional[Sequence[bool]]" = None
+             ) -> List[AdaptiveRun]:
+        """The per-config :class:`AdaptiveRun`\\ s for the current state.
+
+        ``converged`` overrides the per-state flags (the controller
+        judges convergence on the *table's* criterion, not each cell's
+        own CPI CI).
+        """
+        runs = []
+        flags = [state.converged for state in self.states] \
+            if converged is None else list(converged)
+        for state, flag in zip(self.states, flags):
+            ordered = sorted(state.clusters, key=lambda c: c.medoid)
+            plan = RegionPlan(
+                instructions=self.instructions, skip=self.skip,
+                checkpoint_interval=self._trace.checkpoint_interval,
+                regions=tuple(self._region(c.medoid, len(c.members))
+                              for c in ordered))
+            results = tuple(state.simulated[c.medoid] for c in ordered)
+            weights = [r.weight for r in plan.regions]
+            runs.append(AdaptiveRun(
+                workload=self.profile.name,
+                config=state.base,
+                plan=plan,
+                results=results,
+                cpi=estimate_cpi(results, weights),
+                misspec_penalty=estimate_misspec_penalty(results, weights),
+                ci_target=self.ci_target,
+                converged=flag,
+                rounds=tuple(state.rounds),
+            ))
+        return runs
+
+
 def sample_workload_adaptive_many(
         workload: Union[str, WorkloadProfile],
         configs: "Sequence[Optional[ProcessorConfig]]",
@@ -213,135 +493,18 @@ def sample_workload_adaptive_many(
     :func:`sample_workload_adaptive` call for that config would
     produce (same deterministic schedule, same cached job keys).
     """
-    if ci_target <= 0:
-        raise ValueError("ci_target must be positive")
-    if start_regions < 2:
-        raise ValueError("start_regions must be at least 2 (a single "
-                         "region supports no CI claim)")
-    if batch < 1:
-        raise ValueError("batch must be positive")
-    if regions is not None and regions < start_regions:
-        raise ValueError("regions cap must cover the starting set")
-    if instructions < 1:
-        raise ValueError("instructions must be positive")
-    if skip < 0:
-        raise ValueError("skip must be non-negative")
+    _validate_schedule_params(ci_target, start_regions, batch, regions,
+                              instructions, skip)
     if not configs:
         return []
-
-    profile = get_profile(workload) if isinstance(workload, str) else workload
-    bases = [config or ProcessorConfig.cortex_a72_like()
-             for config in configs]
-    max_fraction = DEFAULT_MAX_FRACTION if max_fraction is None else max_fraction
-    if not 0 < max_fraction <= 1:
-        raise ValueError("max_fraction must be in (0, 1]")
-    budget = max(1, int(instructions * max_fraction))
-    measure = DEFAULT_MEASURE if measure is None else measure
-    if measure < 1:
-        raise ValueError("measure must be positive")
-    measure = min(measure, budget)
-    detail = measure // 4 if detail is None else detail
-    if detail < 0:
-        raise ValueError("detail must be non-negative")
-    detail = min(detail, budget - measure)
-    if warmup is not None and warmup < 0:
-        raise ValueError("warmup must be non-negative")
-
-    trace = acquire_span_trace(profile, instructions, skip,
-                               checkpoint_interval, store)
-
-    windows = max(1, instructions // measure)
-    cap = min(regions if regions is not None else DEFAULT_ADAPTIVE_CAP,
-              max(1, budget // (measure + detail)),
-              windows)
-    signatures = [window_signature(trace, skip + i * measure, measure)
-                  for i in range(windows)]
-
-    medoids, _ = cluster_windows(signatures, min(start_regions, cap))
-    assignment = assign_windows(signatures, medoids)
-    initial = [(m, [i for i, a in enumerate(assignment) if a == slot])
-               for slot, m in enumerate(medoids)]
-
-    runner = executor if executor is not None \
-        else SweepExecutor(jobs=jobs, cache=cache)
-    states = [_EscalationState(
-        base=base,
-        clusters=[_Cluster(m, list(members)) for m, members in initial],
-        simulated={}, rounds=[]) for base in bases]
-    while any(state.active for state in states):
-        requests: List[Tuple[_EscalationState, int]] = []
-        for state in states:
-            if not state.active:
-                continue
-            requests.extend(
-                (state, c.medoid) for c in state.clusters
-                if c.medoid not in state.simulated)
-        if requests:
-            jobs_batch = [
-                SimJob(profile,
-                       state.base.with_region(r.start, r.warmup, r.detail),
-                       r.measure, 0)
-                for state, r in (
-                    (state,
-                     _window_region(m, measure, skip, warmup, detail, 1))
-                    for state, m in requests)]
-            for (state, m), result in zip(requests, runner.run(jobs_batch)):
-                state.simulated[m] = result
-
-        for state in states:
-            if not state.active:
-                continue
-            ordered = sorted(state.clusters, key=lambda c: c.medoid)
-            results = [state.simulated[c.medoid] for c in ordered]
-            weights = [len(c.members) for c in ordered]
-            estimate = estimate_cpi(results, weights)
-            relative = estimate.relative_error
-            state.rounds.append(AdaptiveRound(
-                regions=len(state.clusters),
-                simulated_records=len(state.clusters) * (measure + detail),
-                relative_ci=relative))
-            if relative == relative and relative <= ci_target:  # not NaN
-                state.converged = True
-                state.active = False
-                continue
-            if len(state.clusters) >= cap:
-                state.active = False
-                continue
-            split_any = False
-            for _ in range(min(batch, cap - len(state.clusters))):
-                target = _next_split(state.clusters, signatures)
-                if target is None:
-                    break
-                kept, new = _split_cluster(state.clusters[target], signatures)
-                state.clusters[target] = kept
-                state.clusters.append(new)
-                split_any = True
-            if not split_any:
-                state.active = False
-
-    runs = []
-    for state in states:
-        ordered = sorted(state.clusters, key=lambda c: c.medoid)
-        plan = RegionPlan(
-            instructions=instructions, skip=skip,
-            checkpoint_interval=trace.checkpoint_interval,
-            regions=tuple(_window_region(c.medoid, measure, skip, warmup,
-                                         detail, len(c.members))
-                          for c in ordered))
-        results = tuple(state.simulated[c.medoid] for c in ordered)
-        weights = [r.weight for r in plan.regions]
-        runs.append(AdaptiveRun(
-            workload=profile.name,
-            config=state.base,
-            plan=plan,
-            results=results,
-            cpi=estimate_cpi(results, weights),
-            misspec_penalty=estimate_misspec_penalty(results, weights),
-            ci_target=ci_target,
-            converged=state.converged,
-            rounds=tuple(state.rounds),
-        ))
-    return runs
+    session = AdaptiveSession(
+        workload, configs, instructions=instructions, skip=skip,
+        ci_target=ci_target, measure=measure, warmup=warmup, detail=detail,
+        start_regions=start_regions, batch=batch, regions=regions,
+        max_fraction=max_fraction, checkpoint_interval=checkpoint_interval,
+        executor=executor, jobs=jobs, cache=cache, store=store)
+    session.run_per_cell()
+    return session.runs()
 
 
 def sample_workload_adaptive(

@@ -1,0 +1,154 @@
+"""Whole-table budget control for adaptive sampled suites.
+
+The per-cell adaptive loop (:mod:`repro.sampling.adaptive`) spends until
+*every* ``(config, workload)`` cell's own CPI CI meets the target -- a
+sensible contract for one cell, but wasteful for a table whose
+deliverable is a column of *speedups*: on shared windows the paired
+estimator (:mod:`repro.sampling.paired`) usually meets the target with
+far fewer regions than either side's CPI needs, and the workloads that
+remain loose differ wildly (Constantinou et al.'s cross-workload
+variance).  Uniform escalation buys precision where the table already
+has it.
+
+:class:`TableController` spends the budget where the table is weakest
+instead.  Each workload is an :class:`~repro.sampling.adaptive.
+AdaptiveSession` escalating all its configs in lockstep (so windows stay
+shared and the paired estimator stays applicable); after every round the
+controller re-scores all still-open workloads by their worst
+CI-to-target ratio -- the paired speedup CI of each variant against the
+first config when pairing is on, the per-cell CPI CIs otherwise -- and
+the single worst workload receives the next escalation batch.  The loop
+stops when every workload meets the target or nothing can escalate
+(region caps, nothing left to split).
+
+Determinism and cache identity are preserved: the controller never
+alters *what* a session simulates, only *how far* each one walks its own
+deterministic split sequence.  Every schedule it produces is a prefix of
+the standalone per-cell schedule, so all region jobs hit the same
+content-addressed cache entries a ``sample_workload_adaptive_many`` call
+would create.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from .adaptive import AdaptiveRun, AdaptiveSession
+from .paired import paired_speedup
+
+
+class TableController:
+    """Rank open workloads by worst CI-to-target ratio; escalate there.
+
+    Sessions join via :meth:`add` (construct the
+    :class:`AdaptiveSession` yourself -- its constructor acquires the
+    trace, so per-workload capture failures surface at add time where
+    the caller can fall back that one workload without losing the
+    table).  :meth:`run` drives the whole table to the target;
+    :meth:`results` returns each workload's per-config runs with
+    convergence judged on the *table's* criterion.
+    """
+
+    def __init__(self, ci_target: float, paired: bool = True) -> None:
+        if ci_target <= 0:
+            raise ValueError("ci_target must be positive")
+        self.ci_target = ci_target
+        self.paired = paired
+        self._names: List[str] = []
+        self._sessions: Dict[str, AdaptiveSession] = {}
+
+    def add(self, name: str, session: AdaptiveSession) -> None:
+        if name in self._sessions:
+            raise ValueError(f"duplicate workload: {name!r}")
+        self._names.append(name)
+        self._sessions[name] = session
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def _criterion(self, session: AdaptiveSession) -> float:
+        """The workload's worst relative CI under the table's criterion.
+
+        With pairing on and at least two configs: the paired speedup CI
+        of every variant against the first config (the deliverable of a
+        comparison table).  Otherwise: the worst per-cell CPI CI.  An
+        undefined CI (too few shared windows, degenerate estimate) is
+        +inf -- an open claim the controller must keep spending on.
+        """
+        runs = session.runs()
+        if self.paired and len(runs) >= 2:
+            rels = []
+            for variant in runs[1:]:
+                estimate = paired_speedup(runs[0], variant)
+                rels.append(math.inf if estimate is None
+                            else estimate.relative_error)
+        else:
+            rels = [run.cpi.relative_error for run in runs]
+        worst = max(rels)
+        return math.inf if math.isnan(worst) else worst
+
+    def _ratio(self, session: AdaptiveSession) -> float:
+        return self._criterion(session) / self.ci_target
+
+    # ------------------------------------------------------------------
+    # The spend loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """Escalate the worst open workload until the table converges.
+
+        Each round: measure everything pending, score every workload
+        still above target that can still grow, and hand the next
+        lockstep batch to the single worst one.  ``max`` keeps the
+        first maximum, and the candidate list follows insertion order,
+        so the spend sequence is deterministic.
+        """
+        for name in self._names:
+            self._sessions[name].measure_all()
+        while True:
+            candidates = [name for name in self._names
+                          if self._ratio(self._sessions[name]) > 1.0
+                          and self._sessions[name].can_escalate]
+            if not candidates:
+                return
+            worst = max(candidates,
+                        key=lambda name: self._ratio(self._sessions[name]))
+            session = self._sessions[worst]
+            session.escalate_all()
+            session.measure_all()
+
+    # ------------------------------------------------------------------
+    # Results and spend accounting
+    # ------------------------------------------------------------------
+
+    def results(self) -> "Dict[str, List[AdaptiveRun]]":
+        """Per-workload runs, convergence judged on the table criterion.
+
+        Every config of one workload shares a flag: the table either
+        met its criterion for that workload (the paired speedup CIs, or
+        every cell's CPI CI) or it did not -- per-cell CPI convergence
+        would claim precision the controller deliberately did not buy.
+        """
+        out = {}
+        for name in self._names:
+            session = self._sessions[name]
+            flag = self._ratio(session) <= 1.0
+            out[name] = session.runs(
+                converged=[flag] * len(session.states))
+        return out
+
+    @property
+    def simulated_records(self) -> int:
+        """Timed records planned across the whole table."""
+        return sum(session.simulated_records
+                   for session in self._sessions.values())
+
+    @property
+    def regions(self) -> int:
+        """Scheduled regions across the whole table."""
+        return sum(session.regions for session in self._sessions.values())
+
+
+__all__ = ["TableController"]

@@ -1,0 +1,168 @@
+"""Paired speedup estimation over shared region windows.
+
+A sampled base-vs-variant comparison replays the *identical* region
+windows of the same trace on both machines (the plans derive from the
+trace alone, and the lockstep escalation keeps them aligned).  On a
+common window the two CPIs move together -- a phase that is expensive on
+the base machine is expensive on the variant too -- so the per-window
+CPI *ratio* is far less variable than either CPI.  Combining the two
+sides' independent jackknife CIs in quadrature throws that correlation
+away and over-states the speedup uncertainty by the common-mode
+variance both sides share.
+
+:func:`paired_speedup` keeps it: the speedup point estimate is the
+ratio of the two weighted whole-span CPI estimates (exactly what the
+independent path reports), but its spread is a delete-one jackknife
+that drops each shared window from *both* sides simultaneously.
+Window-to-window variation that is common to base and variant cancels
+inside every leave-one-out replicate, so only the variation of the
+comparison itself -- the quantity actually being reported -- widens the
+interval.
+
+Two honesty rules carry over from :mod:`repro.sampling.aggregate`:
+
+* fewer than two shared windows support a point estimate but no error
+  claim (NaN half-width, rendered ``n/a``);
+* the estimator only applies when the two runs really sampled the same
+  schedule -- :func:`paired_speedup` returns ``None`` when the region
+  schedules differ (different starts, lengths or weights), and the
+  caller falls back to the quadrature combination.
+
+Unlike the per-side CPI estimates there is no tiling-truncation floor:
+the truncated span tail biases base and variant CPI the same way, so
+the bias is common-mode and cancels in the ratio to first order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .aggregate import CI_Z
+from .run import SampledRun
+
+#: One shared window's weighted contribution to both sides of the
+#: ratio: (base cycles, base committed, variant cycles, variant
+#: committed), each scaled by the window's cluster weight.
+PairedTerm = Tuple[float, float, float, float]
+
+
+@dataclass(frozen=True)
+class PairedEstimate:
+    """A speedup (base CPI / variant CPI) estimated from shared windows.
+
+    ``point`` matches the ratio of the two independent weighted CPI
+    estimates bit for bit -- pairing changes the error claim, never the
+    headline number.
+    """
+
+    point: float  #: whole-span speedup estimate (variant IPC / base IPC)
+    terms: Tuple[PairedTerm, ...]  #: per shared window, plan order
+
+    @property
+    def n(self) -> int:
+        """Shared windows the estimate is built from."""
+        return len(self.terms)
+
+    @property
+    def stderr(self) -> float:
+        """Delete-one jackknife over shared windows; NaN when n < 2.
+
+        Each leave-one-out replicate removes a window from base *and*
+        variant, so common-mode window variation cancels inside every
+        replicate and only the comparison's own variance remains.
+        """
+        n = len(self.terms)
+        if n < 2:
+            return math.nan
+        tb_num = sum(t[0] for t in self.terms)
+        tb_den = sum(t[1] for t in self.terms)
+        tv_num = sum(t[2] for t in self.terms)
+        tv_den = sum(t[3] for t in self.terms)
+        loo = []
+        for b_num, b_den, v_num, v_den in self.terms:
+            rb_den = tb_den - b_den
+            rv_den = tv_den - v_den
+            rv_num = tv_num - v_num
+            if rb_den <= 0 or rv_den <= 0 or rv_num <= 0:
+                return math.nan
+            loo.append(((tb_num - b_num) / rb_den) / (rv_num / rv_den))
+        mean = sum(loo) / n
+        var = (n - 1) / n * sum((v - mean) ** 2 for v in loo)
+        return math.sqrt(var)
+
+    @property
+    def ci_halfwidth(self) -> float:
+        """Half-width of the ~95% CI (NaN when the stderr is undefined)."""
+        return CI_Z * self.stderr
+
+    @property
+    def ci95(self) -> Tuple[float, float]:
+        half = self.ci_halfwidth
+        return (self.point - half, self.point + half)
+
+    @property
+    def relative_error(self) -> float:
+        """CI half-width as a fraction of the point; NaN when undefined."""
+        if self.point == 0.0 or math.isnan(self.point):
+            return math.nan
+        return self.ci_halfwidth / abs(self.point)
+
+    def __str__(self) -> str:
+        if math.isnan(self.stderr):
+            return f"speedup={self.point:.4f} (n={self.n})"
+        return (f"speedup={self.point:.4f} +/- {self.ci_halfwidth:.4f} "
+                f"(n={self.n})")
+
+
+def shared_schedule(base: SampledRun, variant: SampledRun) -> bool:
+    """True when the two runs sampled the identical region schedule.
+
+    Pairing requires window-for-window agreement: same starts, measured
+    lengths, detail phases and cluster weights, in the same order.  The
+    functional ``warmup`` depth is deliberately ignored -- it shapes the
+    warm state each side trains, not *which* records are measured, and
+    both sides of one comparison always use the same warmup policy
+    anyway.
+    """
+    return [(r.start, r.measure, r.detail, r.weight)
+            for r in base.plan.regions] \
+        == [(r.start, r.measure, r.detail, r.weight)
+            for r in variant.plan.regions]
+
+
+def paired_speedup(base: SampledRun,
+                   variant: SampledRun) -> Optional[PairedEstimate]:
+    """Paired speedup estimate, or None when the schedules differ.
+
+    ``None`` tells the caller the runs are not window-for-window
+    comparable (genuinely different region schedules); combine the two
+    sides' own CIs in quadrature instead.  A single shared window
+    returns an estimate whose CI is NaN -- a point with no error claim,
+    not a refusal.
+    """
+    if not shared_schedule(base, variant):
+        return None
+    terms = tuple(
+        (w * b.stats.cycles, w * b.stats.committed,
+         w * v.stats.cycles, w * v.stats.committed)
+        for w, b, v in zip((r.weight for r in base.plan.regions),
+                           base.results, variant.results))
+    tb_num = sum(t[0] for t in terms)
+    tb_den = sum(t[1] for t in terms)
+    tv_num = sum(t[2] for t in terms)
+    tv_den = sum(t[3] for t in terms)
+    if tb_den == 0 or tv_den == 0 or tv_num == 0:
+        point = math.nan
+    else:
+        point = (tb_num / tb_den) / (tv_num / tv_den)
+    return PairedEstimate(point=point, terms=terms)
+
+
+__all__ = [
+    "PairedEstimate",
+    "PairedTerm",
+    "paired_speedup",
+    "shared_schedule",
+]
