@@ -1,0 +1,94 @@
+"""Top-down cycle accounting: suite table, stress gate, and PUBS movers.
+
+Three gates over the topdown hierarchy (DESIGN.md §15):
+
+1. The base-machine suite table for mcf/sjeng/gcc: every breakdown's
+   level-1 fractions sum to 1 and its CPI contributions sum to the CPI
+   (the accounting laws, here checked end-to-end through the cached
+   executor path rather than a live pipeline).
+2. Each stress family that declares a dominant bucket actually lands
+   there -- the hierarchy agrees with the bottleneck contracts.
+3. Base-vs-PUBS comparison: on every D-BP program where PUBS helps, the
+   bucket that moves most is ``bad_speculation`` (PUBS attacks the
+   misspeculation penalty, not the backend), and the E_wait IQ
+   component shrinks.
+"""
+
+from common import prefetch, run_cached
+
+from repro import ProcessorConfig
+from repro.analysis import render_table
+from repro.analysis.topdown import (LEVEL1, breakdown_of, compare_topdown,
+                                    suite_table_rows)
+from repro.workloads.stress import FAMILIES, run_family
+
+BASE = ProcessorConfig.cortex_a72_like()
+PUBS = BASE.with_pubs()
+SUITE = ["mcf", "sjeng", "gcc"]
+
+
+def _run_suite():
+    prefetch(SUITE, [BASE, PUBS])
+    return {name: (run_cached(name, BASE), run_cached(name, PUBS))
+            for name in SUITE}
+
+
+def test_topdown_suite_accounting(benchmark, report):
+    results = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    breakdowns = [breakdown_of(base, name=name)
+                  for name, (base, _) in results.items()]
+    headers, rows = suite_table_rows(breakdowns)
+    report("Top-down suite table (base machine, mcf/sjeng/gcc)",
+           render_table(headers, rows))
+    for bd in breakdowns:
+        fractions = [bd.fraction(bucket) for bucket in LEVEL1]
+        assert abs(sum(fractions) - 1.0) < 1e-12
+        contributions = sum(bd.cpi_contribution(b) for b in LEVEL1)
+        assert abs(contributions - bd.cpi) < 1e-9
+
+
+def test_topdown_stress_dominance(benchmark, report):
+    declared = {name: fam.topdown for name, fam in FAMILIES.items()
+                if fam.topdown is not None}
+
+    def _run():
+        out = {}
+        for name in sorted(declared):
+            reportobj = run_family(FAMILIES[name], sweep=False)
+            assert reportobj.passed, "\n" + reportobj.render()
+            out[name] = reportobj
+        return out
+
+    reports = benchmark.pedantic(_run, rounds=1, iterations=1)
+    rows = []
+    for name in sorted(declared):
+        outcome = next(o for o in reports[name].outcomes
+                       if "dominant topdown bucket" in o.description)
+        assert outcome.passed, outcome.render()
+        rows.append([name, declared[name], outcome.observed])
+    report("Top-down stress gate: declared vs observed dominant bucket",
+           render_table(["family", "declared", "observed"], rows))
+
+
+def test_topdown_pubs_mover(benchmark, report):
+    results = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    rows = []
+    for name, (base, variant) in results.items():
+        delta = compare_topdown(breakdown_of(base, name=name),
+                                breakdown_of(variant, name=name))
+        rows.append([name, delta.cpi_delta, delta.mover,
+                     delta.contributions["bad_speculation"]])
+        # The deltas decompose the CPI change exactly.
+        assert abs(sum(delta.contributions.values())
+                   - delta.cpi_delta) < 1e-9
+        if delta.cpi_delta < -0.01:  # PUBS helped: misspec is the mover
+            assert delta.mover == "bad_speculation", (
+                f"{name}: expected bad_speculation to move most, "
+                f"got {delta.mover}")
+        b_iq = base.stats.avg_missspec_iq_wait
+        v_iq = variant.stats.avg_missspec_iq_wait
+        assert v_iq < b_iq, (
+            f"{name}: E_wait IQ component must shrink under PUBS "
+            f"({b_iq:.1f} -> {v_iq:.1f})")
+    report("Top-down PUBS movers (base -> PUBS, per program)",
+           render_table(["workload", "dCPI", "mover", "d bad_spec"], rows))

@@ -7,6 +7,7 @@ terminal (and in the captured bench_output.txt).
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 
@@ -82,5 +83,7 @@ def render_scatter(
 
 def _fmt(cell: object) -> str:
     if isinstance(cell, float):
+        if math.isnan(cell):
+            return "-"
         return f"{cell:.3f}"
     return str(cell)

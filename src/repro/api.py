@@ -49,6 +49,12 @@ from .analysis.runner import (
     run_suite,
     run_workload,
 )
+from .analysis.topdown import (
+    TopdownBreakdown,
+    TopdownDelta,
+    breakdown_of,
+    compare_topdown,
+)
 from .batch import run_batch
 from .core.config import ProcessorConfig, RunRequest
 from .sampling.adaptive import (
@@ -70,7 +76,11 @@ __all__ = [
     "RunRequest",
     "SampledRun",
     "TableController",
+    "TopdownBreakdown",
+    "TopdownDelta",
     "WorkloadRun",
+    "breakdown_of",
+    "compare_topdown",
     "paired_speedup",
     "run_batch",
     "run_pair",

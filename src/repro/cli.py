@@ -5,6 +5,10 @@ Commands:
 * ``list``                      -- the 28 workloads and their profiles
 * ``run WORKLOAD``              -- simulate one workload on one machine
 * ``compare WORKLOAD``          -- base vs PUBS side by side
+  (``--topdown`` adds the per-bucket CPI delta: which bucket moved)
+* ``report --topdown``          -- top-down cycle attribution (§15):
+  one workload renders the hierarchy, several render a suite table,
+  ``--compare`` decomposes the base-vs-variant CPI delta per workload
 * ``suite``                     -- Fig. 8-style sweep over many workloads
 * ``cost``                      -- Table III hardware cost
 * ``disasm WORKLOAD``           -- generated program listing
@@ -40,7 +44,13 @@ import os
 import sys
 from typing import List, Optional
 
-from .analysis import geometric_mean, render_table
+from .analysis import (
+    breakdown_of,
+    compare_topdown,
+    geometric_mean,
+    render_table,
+    suite_table_rows,
+)
 from .api import (
     AdaptiveRun,
     PairedRun,
@@ -120,6 +130,35 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1 (e.g. --jobs).
+
+    ``--jobs 0`` used to reach the worker pool and die with a deep
+    traceback; rejecting it here exits 2 with the flag's own usage
+    message, like the other up-front knob validation.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive count, got {text}")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    """argparse type for counts where 0 is legal but negatives are not
+    (e.g. --batch: 0 disables batching)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {text}")
+    return value
+
+
 def _shared_parent() -> argparse.ArgumentParser:
     """The execution flags every simulating subcommand shares.
 
@@ -129,7 +168,8 @@ def _shared_parent() -> argparse.ArgumentParser:
     exactly once, in :func:`_request_from_args` + ``RunRequest``.
     """
     parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument("--jobs", type=int, default=None, metavar="N",
+    parent.add_argument("--jobs", type=_positive_int, default=None,
+                        metavar="N",
                         help="worker processes for independent simulations "
                              "(default: REPRO_JOBS or the CPU count)")
     parent.add_argument("--no-cache", action="store_true",
@@ -149,7 +189,8 @@ def _shared_parent() -> argparse.ArgumentParser:
                         help="relative CI half-width adaptive sampling "
                              "drives toward (default: REPRO_CI_TARGET, "
                              "else 0.05)")
-    parent.add_argument("--batch", type=int, default=None, metavar="N",
+    parent.add_argument("--batch", type=_non_negative_int, default=None,
+                        metavar="N",
                         help="max replay configs sharing one batched trace "
                              "walk (default: REPRO_BATCH, else 16; 0 or 1 "
                              "disables batching)")
@@ -344,6 +385,9 @@ def _cmd_compare(args) -> int:
                   f"(95% CI {(lo - 1) * 100:+.2f}% .. {(hi - 1) * 100:+.2f}%, "
                   f"{pair.ci_method})")
         _print_spend([bc, vc], executor)
+        if args.topdown:
+            print()
+            _print_topdown_delta(args.workload, bc, vc)
         return 0
     b, v = pair.base.stats, pair.variant.stats
     print(render_table(["metric", "base", "variant"], [
@@ -354,7 +398,19 @@ def _cmd_compare(args) -> int:
          f"{v.avg_missspec_iq_wait:.1f}"],
     ]))
     print(f"\nspeedup: {pair.speedup_percent:+.2f}%")
+    if args.topdown:
+        print()
+        _print_topdown_delta(args.workload, bc, vc)
     return 0
+
+
+def _print_topdown_delta(workload: str, base_cell: WorkloadRun,
+                         variant_cell: WorkloadRun) -> None:
+    """Decompose a pair's CPI delta into bucket moves (DESIGN.md §15)."""
+    delta = compare_topdown(
+        breakdown_of(base_cell, name=f"{workload}/base"),
+        breakdown_of(variant_cell, name=f"{workload}/variant"))
+    print(delta.render())
 
 
 def _cmd_suite(args) -> int:
@@ -411,6 +467,47 @@ def _cmd_suite(args) -> int:
         print(f"\nGM D-BP: {(geometric_mean(dbp_ratios) - 1) * 100:+.2f}%")
     if ebp_ratios:
         print(f"GM E-BP: {(geometric_mean(ebp_ratios) - 1) * 100:+.2f}%")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    if not args.topdown:
+        print("error: report currently knows one analysis; pass --topdown",
+              file=sys.stderr)
+        return 2
+    req = _request_from_args(args)
+    names = args.workloads or sorted(spec2006_profiles())
+    machine = _machine_from_args(args)
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
+                             batch=args.batch)
+    if args.compare:
+        base = ProcessorConfig.cortex_a72_like()
+        variant = machine if machine != base else base.with_pubs()
+        first = True
+        for name in names:
+            pair = run_pair(name, base, variant, request=req,
+                            executor=executor)
+            for cell, side in ((pair.base_cell, "base"),
+                               (pair.variant_cell, "variant")):
+                _note_fallback(cell, f"{name} {side}")
+            if not first:
+                print()
+            first = False
+            _print_topdown_delta(name, pair.base_cell, pair.variant_cell)
+        return 0
+    results = run_suite({"machine": machine}, names, request=req,
+                        executor=executor)["machine"]
+    breakdowns = []
+    for name in names:
+        cell = results[name]
+        if isinstance(cell, WorkloadRun):
+            _note_fallback(cell, name)
+        breakdowns.append(breakdown_of(cell, name=name))
+    if len(breakdowns) == 1:
+        print(breakdowns[0].render())
+        return 0
+    headers, rows = suite_table_rows(breakdowns)
+    print(render_table(headers, rows))
     return 0
 
 
@@ -688,8 +785,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp = sub.add_parser("compare", help="base vs variant on one workload",
                            parents=shared)
     p_cmp.add_argument("workload")
+    p_cmp.add_argument("--topdown", action="store_true",
+                       help="also decompose the CPI delta per topdown "
+                            "bucket: print which bucket moved")
     _add_machine_args(p_cmp)
     _add_budget_args(p_cmp)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="top-down cycle attribution report (DESIGN.md §15)",
+        parents=shared)
+    p_rep.add_argument("workloads", nargs="*", default=None,
+                       help="workloads to report (default: all of them)")
+    p_rep.add_argument("--topdown", action="store_true",
+                       help="the topdown hierarchy (required -- report "
+                            "has no other analysis yet)")
+    p_rep.add_argument("--compare", action="store_true",
+                       help="base vs variant (default variant: PUBS): "
+                            "decompose the CPI delta per bucket instead "
+                            "of reporting one machine")
+    _add_machine_args(p_rep)
+    _add_budget_args(p_rep)
 
     p_suite = sub.add_parser("suite", help="sweep many workloads (Fig. 8)",
                              parents=shared)
@@ -817,6 +933,7 @@ _COMMANDS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "report": _cmd_report,
     "suite": _cmd_suite,
     "cost": _cmd_cost,
     "disasm": _cmd_disasm,

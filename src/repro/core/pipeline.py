@@ -179,6 +179,18 @@ class Pipeline:
         self._next_trace_seq = 0
         self._wrong_path_pc: Optional[int] = None  # None => fetching the trace
         self._fetch_resume_cycle = 0  # recovery redirect / I-miss stall
+        #: Why fetch is stalled while ``cycle < _fetch_resume_cycle``
+        #: ("recovery" or "l1i"); drives topdown bubble attribution.
+        self._fetch_stall_reason = "fetch"
+        #: Why the front end is empty when dispatch finds nothing: keeps
+        #: the last stall's reason until a dispatch succeeds, so the
+        #: pipeline-refill bubbles after a recovery or an I-miss are
+        #: attributed to their cause, not to generic fetch bandwidth.
+        self._bubble_reason = "fetch"
+        #: Set by :meth:`_allocate_iq_slot` when the stall policy blocked
+        #: dispatch on a full *priority* partition (vs. a full IQ), so
+        #: the dispatch loop books the stall under the right cause.
+        self._priority_blocked = False
         self._last_ifetch_line = -1
         self._frontend: Deque[Uop] = deque()
         self._frontend_capacity = cfg.fetch_width * (cfg.frontend_depth + 2)
@@ -639,6 +651,8 @@ class Pipeline:
         self._next_trace_seq = branch.trace_seq + 1
         self._wrong_path_pc = None
         self._fetch_resume_cycle = cycle + self.config.recovery_penalty
+        self._fetch_stall_reason = "recovery"
+        self._bubble_reason = "recovery"
         self._last_ifetch_line = -1
 
     # ==================================================================
@@ -834,6 +848,10 @@ class Pipeline:
         age_matrix = self.age_matrix
         incremental = self._incremental_issue
         dispatched = 0
+        # Topdown slot accounting (DESIGN.md §15): every loop exit books
+        # the cycle's unfilled decode slots into exactly one bucket, so
+        # the td_* counters sum to decode_width * cycles by construction.
+        stall_bucket = None
         while dispatched < cfg.decode_width and frontend:
             uop = frontend[0]
             if uop.fetch_cycle > earliest:
@@ -846,19 +864,32 @@ class Pipeline:
             if rob.is_full():
                 stats.dispatch_stall_cycles += 1
                 stats.rob_full_stall_cycles += 1
+                stall_bucket = "rob"
                 break
             if uop.inst.is_mem and lsq.is_full():
                 stats.dispatch_stall_cycles += 1
                 stats.lsq_full_stall_cycles += 1
+                stall_bucket = "lsq"
                 break
             if not renamer.can_rename(uop):
                 stats.dispatch_stall_cycles += 1
                 stats.regs_full_stall_cycles += 1
+                stall_bucket = "regs"
                 break
             slot = self._allocate_iq_slot(uop)
             if slot is None:
                 stats.dispatch_stall_cycles += 1
-                stats.iq_full_stall_cycles += 1
+                if self._priority_blocked:
+                    # The stall policy blocked on the priority partition
+                    # while the rest of the IQ may have space: a distinct
+                    # cause, kept disjoint from iq_full so the per-cause
+                    # split sums to dispatch_stall_cycles.
+                    self._priority_blocked = False
+                    stats.priority_stall_cycles += 1
+                    stall_bucket = "priority"
+                else:
+                    stats.iq_full_stall_cycles += 1
+                    stall_bucket = "iq"
                 break
             frontend.popleft()
             renamer.rename(uop)
@@ -873,7 +904,39 @@ class Pipeline:
                 age_matrix.insert(slot)
             if incremental:
                 self._schedule_dispatched(uop)
+            if uop.on_correct_path:
+                stats.td_retire_slots += 1
+            else:
+                stats.td_wrongpath_slots += 1
             dispatched += 1
+        if dispatched:
+            self._bubble_reason = "fetch"
+        leftover = cfg.decode_width - dispatched
+        if not leftover:
+            return
+        if stall_bucket is None:
+            # Front end empty (or its head still too young): a frontend
+            # bubble.  While a fetch stall is active the reason is exact;
+            # afterwards the refill bubbles keep the stall's reason until
+            # the first dispatch resets it to plain fetch bandwidth.
+            reason = self._fetch_stall_reason \
+                if cycle < self._fetch_resume_cycle else self._bubble_reason
+            if reason == "recovery":
+                stats.td_recovery_slots += leftover
+            elif reason == "l1i":
+                stats.td_fe_l1i_slots += leftover
+            else:
+                stats.td_fe_fetch_slots += leftover
+        elif stall_bucket == "rob":
+            stats.td_be_rob_slots += leftover
+        elif stall_bucket == "iq":
+            stats.td_be_iq_slots += leftover
+        elif stall_bucket == "lsq":
+            stats.td_be_lsq_slots += leftover
+        elif stall_bucket == "regs":
+            stats.td_be_regs_slots += leftover
+        else:
+            stats.td_be_priority_slots += leftover
 
     def _allocate_iq_slot(self, uop: Uop) -> Optional[int]:
         """IQ entry allocation implementing the PUBS dispatch policies."""
@@ -889,7 +952,7 @@ class Pipeline:
                 self.stats.priority_dispatches += 1
                 return slot
             if cfg.stall_policy:
-                self.stats.priority_stall_cycles += 1
+                self._priority_blocked = True
                 return None
             return self.iq.dispatch(uop, priority=False)
         return self.iq.dispatch(uop, priority=False)
@@ -921,6 +984,8 @@ class Pipeline:
                 self._last_ifetch_line = line
                 if lat > self.hierarchy.l1i.config.hit_latency:
                     self._fetch_resume_cycle = cycle + lat
+                    self._fetch_stall_reason = "l1i"
+                    self._bubble_reason = "l1i"
                     self._last_ifetch_line = -1  # re-check after the fill
                     break
             uop = Uop(self._next_seq, inst, cycle, on_trace,

@@ -37,15 +37,33 @@ class SimStats:
     missspec_execute_cycles: int = 0
 
     # Dispatch behaviour.  The aggregate stall counter splits by cause:
-    # which full structure blocked the head of the dispatch group.
+    # which full structure blocked the head of the dispatch group.  The
+    # causes are disjoint (a priority-partition stall is *not* also an
+    # iq-full stall), so they sum to ``dispatch_stall_cycles`` exactly --
+    # the topdown-cycle-accounting invariant checks this every sweep.
     dispatch_stall_cycles: int = 0
     rob_full_stall_cycles: int = 0
-    iq_full_stall_cycles: int = 0  #: includes priority-partition stalls
+    iq_full_stall_cycles: int = 0  #: whole IQ full (priority stalls excluded)
     lsq_full_stall_cycles: int = 0
     regs_full_stall_cycles: int = 0  #: no free physical register
     priority_stall_cycles: int = 0  #: stalls caused by a full priority partition
     priority_dispatches: int = 0
     unconfident_dispatches: int = 0
+
+    # Top-down slot accounting (DESIGN.md §15).  Every cycle the dispatch
+    # stage accounts exactly ``decode_width`` issue slots into exactly one
+    # of these buckets, so their sum equals ``decode_width * cycles`` by
+    # construction (checked by the topdown-cycle-accounting invariant).
+    td_retire_slots: int = 0  #: correct-path uops dispatched (will retire)
+    td_wrongpath_slots: int = 0  #: wrong-path uops dispatched (bad speculation)
+    td_recovery_slots: int = 0  #: bubbles from misprediction recovery/refill
+    td_fe_fetch_slots: int = 0  #: fetch-redirect / front-end bandwidth bubbles
+    td_fe_l1i_slots: int = 0  #: bubbles while an L1I miss blocks fetch
+    td_be_rob_slots: int = 0  #: slots lost to a full ROB
+    td_be_iq_slots: int = 0  #: slots lost to a full IQ
+    td_be_lsq_slots: int = 0  #: slots lost to a full LSQ
+    td_be_regs_slots: int = 0  #: slots lost to register-file exhaustion
+    td_be_priority_slots: int = 0  #: slots lost to a full priority partition
 
     # IQ occupancy (sampled every cycle).
     iq_occupancy_sum: int = 0
@@ -106,6 +124,20 @@ class SimStats:
         return self.missspec_iq_wait_cycles / self.mispredictions
 
     @property
+    def avg_missspec_frontend(self) -> float:
+        """Fetch-to-dispatch cycles per misprediction (Sec. II-A)."""
+        if self.mispredictions == 0:
+            return 0.0
+        return self.missspec_frontend_cycles / self.mispredictions
+
+    @property
+    def avg_missspec_execute(self) -> float:
+        """Issue-to-completion cycles per misprediction (Sec. II-A)."""
+        if self.mispredictions == 0:
+            return 0.0
+        return self.missspec_execute_cycles / self.mispredictions
+
+    @property
     def avg_iq_occupancy(self) -> float:
         return self.iq_occupancy_sum / self.cycles if self.cycles else 0.0
 
@@ -120,11 +152,17 @@ class SimStats:
         return self.llc_mpki >= MEMORY_INTENSIVE_LLC_MPKI_THRESHOLD
 
     def summary(self) -> str:
-        """A compact human-readable report."""
+        """A compact human-readable report.
+
+        The misspeculation penalty shows all three Sec. II-A components
+        (front end, IQ wait, execute); they sum to the per-branch total.
+        """
         return (
             f"cycles={self.cycles} committed={self.committed} "
             f"IPC={self.ipc:.3f} brMPKI={self.branch_mpki:.2f} "
             f"llcMPKI={self.llc_mpki:.2f} "
             f"missspec/branch={self.avg_missspec_penalty:.1f}cy "
-            f"(IQ wait {self.avg_missspec_iq_wait:.1f}cy)"
+            f"(FE {self.avg_missspec_frontend:.1f} + "
+            f"IQ {self.avg_missspec_iq_wait:.1f} + "
+            f"EX {self.avg_missspec_execute:.1f})"
         )

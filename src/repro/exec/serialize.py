@@ -46,7 +46,11 @@ from typing import Any
 #: v5: ProcessorConfig grew the smt interference knobs and SimStats grew
 #: the stall-cause split, l1i_misses and smt_injections counters -- old
 #: cached results lack the new fields, so every key rolls over.
-CACHE_SCHEMA_VERSION = 5
+#: v6: SimStats grew the td_* topdown slot buckets and the per-cause stall
+#: counters became disjoint (priority stalls no longer double-count into
+#: iq_full_stall_cycles) -- cached v5 stats would fail the new
+#: topdown-cycle-accounting invariant, so every key rolls over.
+CACHE_SCHEMA_VERSION = 6
 
 
 def canonicalize(obj: Any) -> Any:

@@ -51,6 +51,7 @@ from .aggregate import (
     SampledEstimate,
     estimate_cpi,
     estimate_misspec_penalty,
+    weighted_counter,
     weighted_ratio,
 )
 from .regions import (
@@ -118,6 +119,7 @@ __all__ = [
     "sampled_vs_full_error",
     "shared_schedule",
     "signature_distance",
+    "weighted_counter",
     "weighted_ratio",
     "window_signature",
 ]

@@ -38,6 +38,12 @@ Built-in invariants:
     registrations of live IQ-resident uops match their ``pending_srcs``
     counts exactly (squashed waiters are dropped lazily by design and are
     ignored).
+``topdown-cycle-accounting``
+    The topdown slot buckets (DESIGN.md §15) account every issue slot:
+    their sum equals ``decode_width * cycles`` exactly; the per-cause
+    dispatch-stall counters are disjoint and sum to
+    ``dispatch_stall_cycles``; and the three Sec. II-A misspeculation
+    components sum to ``missspec_penalty_cycles``.
 
 The table-level checks are also exposed standalone
 (:func:`check_conf_tab`, :func:`check_brslice_tab`, :func:`check_def_tab`)
@@ -405,6 +411,61 @@ def check_scheduler_wakeup(pipeline) -> None:
                 snapshot={"slot": slot})
 
 
+def check_topdown_accounting(pipeline) -> None:
+    """Topdown slot buckets partition the machine's issue slots exactly."""
+    name = "topdown-cycle-accounting"
+    cycle = pipeline.cycle
+    s = pipeline.stats
+    width = pipeline.config.decode_width
+    slot_sum = (s.td_retire_slots + s.td_wrongpath_slots
+                + s.td_recovery_slots + s.td_fe_fetch_slots
+                + s.td_fe_l1i_slots + s.td_be_rob_slots + s.td_be_iq_slots
+                + s.td_be_lsq_slots + s.td_be_regs_slots
+                + s.td_be_priority_slots)
+    total = width * s.cycles
+    if slot_sum != total:
+        raise InvariantViolation(
+            name,
+            f"topdown buckets hold {slot_sum} slots, the machine issued "
+            f"{total} (decode_width {width} x {s.cycles} cycles)",
+            cycle=cycle,
+            snapshot={"retire": s.td_retire_slots,
+                      "wrongpath": s.td_wrongpath_slots,
+                      "recovery": s.td_recovery_slots,
+                      "fe_fetch": s.td_fe_fetch_slots,
+                      "fe_l1i": s.td_fe_l1i_slots,
+                      "be_rob": s.td_be_rob_slots,
+                      "be_iq": s.td_be_iq_slots,
+                      "be_lsq": s.td_be_lsq_slots,
+                      "be_regs": s.td_be_regs_slots,
+                      "be_priority": s.td_be_priority_slots})
+    per_cause = (s.rob_full_stall_cycles + s.iq_full_stall_cycles
+                 + s.lsq_full_stall_cycles + s.regs_full_stall_cycles
+                 + s.priority_stall_cycles)
+    if s.dispatch_stall_cycles != per_cause:
+        raise InvariantViolation(
+            name,
+            f"per-cause stall cycles sum to {per_cause}, aggregate says "
+            f"{s.dispatch_stall_cycles} -- the causes overlap or leak",
+            cycle=cycle,
+            snapshot={"rob": s.rob_full_stall_cycles,
+                      "iq": s.iq_full_stall_cycles,
+                      "lsq": s.lsq_full_stall_cycles,
+                      "regs": s.regs_full_stall_cycles,
+                      "priority": s.priority_stall_cycles})
+    components = (s.missspec_frontend_cycles + s.missspec_iq_wait_cycles
+                  + s.missspec_execute_cycles)
+    if components != s.missspec_penalty_cycles:
+        raise InvariantViolation(
+            name,
+            f"E_wait components sum to {components}, the recorded penalty "
+            f"is {s.missspec_penalty_cycles}",
+            cycle=cycle,
+            snapshot={"frontend": s.missspec_frontend_cycles,
+                      "iq_wait": s.missspec_iq_wait_cycles,
+                      "execute": s.missspec_execute_cycles})
+
+
 def default_registry() -> InvariantRegistry:
     """A fresh registry holding every built-in invariant."""
     registry = InvariantRegistry()
@@ -414,4 +475,5 @@ def default_registry() -> InvariantRegistry:
     registry.register("brslice-pointer-validity", check_slice_tables)
     registry.register("conf-counter-range", check_confidence_counters)
     registry.register("scheduler-wakeup-consistency", check_scheduler_wakeup)
+    registry.register("topdown-cycle-accounting", check_topdown_accounting)
     return registry

@@ -58,7 +58,24 @@ METRICS: Dict[str, MetricFn] = {
     "avg_missspec_iq_wait": lambda r: r.stats.avg_missspec_iq_wait,
     "unconfident_branch_rate": lambda r: r.tracker_stats.unconfident_branch_rate,
     "smt_injections": lambda r: float(r.stats.smt_injections),
+    "priority_full_frac": lambda r: _ratio(r.stats.priority_stall_cycles,
+                                           r.stats.cycles),
 }
+
+
+def _td_fraction(bucket: str) -> MetricFn:
+    def fn(result: SimulationResult) -> float:
+        # Deferred: repro.analysis pulls in the runner stack, which this
+        # low-level module must not import at load time.
+        from ...analysis.topdown import breakdown_of
+        return breakdown_of(result).fraction(bucket)
+    return fn
+
+
+METRICS.update({
+    f"td_{bucket}_frac": _td_fraction(bucket)
+    for bucket in ("retiring", "frontend", "bad_speculation", "backend")
+})
 
 
 def metric_value(name: str, result: SimulationResult) -> float:
@@ -123,6 +140,32 @@ class MetricDominance:
             description=f"{self.metric} >= {self.factor:g} * {self.over}",
             passed=passed,
             observed=f"{self.metric}={lhs:.4g} {self.over}={rhs:.4g}",
+        )
+
+
+@dataclass(frozen=True)
+class TopdownDominant:
+    """The dominant topdown bucket lands where the family aims.
+
+    The cycle-attribution analogue of :class:`MetricDominance`: instead
+    of comparing two raw stall counters, it asks the topdown hierarchy
+    (DESIGN.md §15) which level-1 bucket ate the most non-retiring issue
+    slots and requires the answer to match the family's declared
+    bottleneck.
+    """
+
+    bucket: str
+
+    def evaluate(self, result: SimulationResult) -> CheckOutcome:
+        from ...analysis.topdown import LEVEL1, breakdown_of
+        breakdown = breakdown_of(result)
+        dominant = breakdown.dominant_bucket
+        observed = " ".join(
+            f"{b}={breakdown.fraction(b):.3f}" for b in LEVEL1)
+        return CheckOutcome(
+            description=f"dominant topdown bucket is {self.bucket}",
+            passed=dominant == self.bucket,
+            observed=f"dominant={dominant} ({observed})",
         )
 
 
@@ -217,5 +260,6 @@ __all__ = [
     "MetricDominance",
     "MetricThreshold",
     "MonotonicKnob",
+    "TopdownDominant",
     "metric_value",
 ]

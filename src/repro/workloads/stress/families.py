@@ -24,7 +24,7 @@ from ...isa.instruction import Program
 from . import kernels
 from .assertions import (METRICS, ExpectedBottleneck, FamilyReport,
                          MetricDominance, MetricThreshold, MonotonicKnob,
-                         metric_value)
+                         TopdownDominant, metric_value)
 
 #: BTB override for the target-working-set family: 16 sets x 2 ways = 32
 #: targets, so the ladder knob can exceed capacity without megabyte-scale
@@ -55,6 +55,12 @@ class StressFamily:
     tune: Optional[Callable[[ProcessorConfig], ProcessorConfig]] = None
     instructions: int = 6000
     skip: int = 2000
+    #: Level-1 topdown bucket expected to dominate the default-knob run
+    #: (DESIGN.md §15); ``run_family`` appends a
+    #: :class:`~repro.workloads.stress.assertions.TopdownDominant` check
+    #: for it.  None when the stressed resource has no single bucket
+    #: (e.g. store-to-load forwarding, which *avoids* stalls).
+    topdown: Optional[str] = None
 
 
 FAMILIES: Dict[str, StressFamily] = {}
@@ -84,6 +90,7 @@ BRANCH_H2P = _register(StressFamily(
             MonotonicKnob("branch_mpki", "decreasing", min_span=20.0),
         ),
     ),
+    topdown="bad_speculation",
 ))
 
 BRANCH_BTB = _register(StressFamily(
@@ -107,6 +114,7 @@ BRANCH_BTB = _register(StressFamily(
         ),
     ),
     tune=_small_btb,
+    topdown="bad_speculation",
 ))
 
 CALLRET_DEPTH = _register(StressFamily(
@@ -129,6 +137,7 @@ CALLRET_DEPTH = _register(StressFamily(
                           min_span=0.2),
         ),
     ),
+    topdown="frontend",
 ))
 
 L1I_PRESSURE = _register(StressFamily(
@@ -149,6 +158,7 @@ L1I_PRESSURE = _register(StressFamily(
             MonotonicKnob("l1i_mpki", "increasing", min_span=20.0),
         ),
     ),
+    topdown="frontend",
 ))
 
 CACHE_THRASH = _register(StressFamily(
@@ -171,6 +181,7 @@ CACHE_THRASH = _register(StressFamily(
             MonotonicKnob("llc_mpki", "increasing", min_span=80.0),
         ),
     ),
+    topdown="backend",
 ))
 
 STORE_BUFFER = _register(StressFamily(
@@ -192,6 +203,7 @@ STORE_BUFFER = _register(StressFamily(
             MonotonicKnob("lsq_full_frac", "increasing", min_span=0.15),
         ),
     ),
+    topdown="backend",
 ))
 
 LOAD_AFTER_STORE = _register(StressFamily(
@@ -233,6 +245,7 @@ DEP_CHAIN = _register(StressFamily(
             MonotonicKnob("cpi", "increasing", min_span=1.0),
         ),
     ),
+    topdown="backend",
 ))
 
 IQ_PRESSURE = _register(StressFamily(
@@ -256,6 +269,7 @@ IQ_PRESSURE = _register(StressFamily(
                           min_span=0.3),
         ),
     ),
+    topdown="backend",
 ))
 
 
@@ -300,6 +314,11 @@ def run_family(
     )
     for check in family.contract.checks:
         report.outcomes.append(check.evaluate(default_result))
+    if family.topdown is not None:
+        # The declared bucket rides the default-knob run already in hand:
+        # the topdown hierarchy must agree with the bottleneck contract.
+        report.outcomes.append(
+            TopdownDominant(family.topdown).evaluate(default_result))
     if do_sweep:
         runs = [(k, default_result if k == default_knob else run_one(k))
                 for k in sweep_knobs]

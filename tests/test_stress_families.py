@@ -14,7 +14,7 @@ from repro.core import ProcessorConfig, simulate
 from repro.workloads.stress import (FAMILIES, MetricDominance,
                                     MetricThreshold, MonotonicKnob,
                                     metric_value, run_family)
-from repro.workloads.stress.assertions import CheckOutcome
+from repro.workloads.stress.assertions import CheckOutcome, TopdownDominant
 
 ALL_FAMILIES = sorted(FAMILIES)
 
@@ -40,12 +40,34 @@ class TestCatalog:
             assert len(program) > 0
             assert program.name.startswith("stress_")
 
+    def test_topdown_buckets_are_declared_and_valid(self):
+        from repro.analysis.topdown import LEVEL1
+        declared = {name: fam.topdown for name, fam in FAMILIES.items()
+                    if fam.topdown is not None}
+        # Every family but the forwarding probe (which avoids stalls by
+        # design) declares a dominant level-1 bucket.
+        assert len(declared) >= len(FAMILIES) - 1
+        assert all(bucket in LEVEL1 for bucket in declared.values())
+        # The two branch probes are bad-speculation machines; the
+        # front-end probes starve fetch; the rest saturate the backend.
+        assert declared["branch_h2p"] == "bad_speculation"
+        assert declared["l1i_pressure"] == "frontend"
+        assert declared["iq_pressure"] == "backend"
+
 
 @pytest.mark.parametrize("name", ALL_FAMILIES)
 def test_default_knob_contract(name):
-    """Every family passes its contract at the default knob."""
+    """Every family passes its contract at the default knob.
+
+    ``run_family`` appends the family's ``TopdownDominant`` check, so
+    this also asserts each family's dominant topdown bucket matches its
+    expected bottleneck (DESIGN.md §15).
+    """
     report = run_family(FAMILIES[name], sweep=False)
     assert report.passed, "\n" + report.render()
+    if FAMILIES[name].topdown is not None:
+        assert any("dominant topdown bucket" in o.description
+                   for o in report.outcomes)
 
 
 @pytest.mark.parametrize("name", SWEPT_IN_TESTS)
@@ -118,3 +140,17 @@ class TestChecks:
         bad = CheckOutcome("x >= 1", False, "x=0")
         assert "[PASS]" in ok.render()
         assert "[FAIL]" in bad.render()
+
+    def test_topdown_dominant(self, result):
+        # dep_chain at the default knob is backend-bound.
+        good = TopdownDominant("backend").evaluate(result)
+        assert good.passed
+        assert "dominant=backend" in good.observed
+        bad = TopdownDominant("frontend").evaluate(result)
+        assert not bad.passed
+
+    def test_topdown_fraction_metrics(self, result):
+        total = sum(metric_value(f"td_{bucket}_frac", result)
+                    for bucket in ("retiring", "frontend",
+                                   "bad_speculation", "backend"))
+        assert total == pytest.approx(1.0)

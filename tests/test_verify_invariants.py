@@ -53,7 +53,8 @@ class TestRegistry:
         assert names == ("free-list-conservation", "rob-iq-lsq-agreement",
                          "priority-partition-bounds",
                          "brslice-pointer-validity", "conf-counter-range",
-                         "scheduler-wakeup-consistency")
+                         "scheduler-wakeup-consistency",
+                         "topdown-cycle-accounting")
 
     def test_register_unregister_and_decorator(self):
         registry = InvariantRegistry()
