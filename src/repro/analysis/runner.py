@@ -78,15 +78,22 @@ def shared_executor() -> SweepExecutor:
 
 
 def _executor_for(jobs: Optional[int], cache: "Optional[bool]",
-                  batch: Optional[int] = None):
-    """Pick the shared executor or build a specialised one."""
-    if jobs is None and cache is None and batch is None:
+                  batch: Optional[int] = None,
+                  backend: Optional[str] = None):
+    """Pick the shared executor or build a specialised one.
+
+    A ``backend`` spec always builds a dedicated executor: the shared
+    one fronts the default (env-selected) backend, and mixing dispatch
+    targets behind one dedup memo would misattribute its accounting.
+    """
+    if jobs is None and cache is None and batch is None and backend is None:
         return shared_executor()
     if cache is None:
         return SweepExecutor(jobs=jobs,
                              cache=shared_executor().cache or False,
-                             batch=batch)
-    return SweepExecutor(jobs=jobs, cache=cache, batch=batch)
+                             batch=batch, backend=backend)
+    return SweepExecutor(jobs=jobs, cache=cache, batch=batch,
+                         backend=backend)
 
 
 def _resolve_config(config: Optional[ProcessorConfig],
@@ -205,6 +212,7 @@ def run_workload(
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
     batch: Optional[int] = None,
+    backend: Optional[str] = None,
     request: Optional[RunRequest] = None,
 ) -> "SimulationResult | WorkloadRun":
     """Simulate one named workload on one machine configuration.
@@ -218,15 +226,19 @@ def run_workload(
     sampled modes return a :class:`WorkloadRun` estimate instead.
     ``batch`` caps batched replay grouping (None defers to
     ``REPRO_BATCH``; a single cell has nothing to group with anyway).
-    ``request`` supplies any of these as a bundled
+    ``backend`` picks the execution backend (None defers to
+    ``REPRO_BACKEND``, then the local process pool).  ``request``
+    supplies any of these as a bundled
     :class:`~repro.core.config.RunRequest`; explicit keywords win.
     """
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
-                         sampling=sampling, ci_target=ci_target, batch=batch)
+                         sampling=sampling, ci_target=ci_target, batch=batch,
+                         backend=backend)
     if req.sampling != "off":
         return _sampled_cell(workload, config, req,
-                             _executor_for(req.jobs, req.cache, req.batch))
+                             _executor_for(req.jobs, req.cache, req.batch,
+                                           req.backend))
     instructions, skip = _budget(req)
     config = _resolve_config(config, req.frontend)
     job = SimJob.make(workload, config, instructions, skip)
@@ -239,7 +251,8 @@ def run_workload(
             skip_instructions=skip,
             mem_seed=job.profile.mem_seed,
         )
-    return _executor_for(req.jobs, req.cache, req.batch).run_one(job)
+    return _executor_for(req.jobs, req.cache, req.batch,
+                         req.backend).run_one(job)
 
 
 def _sampled_row(workload: "str | WorkloadProfile",
@@ -449,6 +462,7 @@ def run_pair(
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
     batch: Optional[int] = None,
+    backend: Optional[str] = None,
     paired: Optional[bool] = None,
     request: Optional[RunRequest] = None,
     executor: Optional[SweepExecutor] = None,
@@ -468,10 +482,10 @@ def run_pair(
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
                          sampling=sampling, ci_target=ci_target, batch=batch,
-                         paired=paired)
+                         backend=backend, paired=paired)
     profile = get_profile(workload) if isinstance(workload, str) else workload
     runner = executor if executor is not None \
-        else _executor_for(req.jobs, req.cache, req.batch)
+        else _executor_for(req.jobs, req.cache, req.batch, req.backend)
     if req.sampling != "off":
         base_cell, variant_cell = _sampled_row(
             profile, [base_config, variant_config], req, runner)
@@ -500,6 +514,7 @@ def run_suite(
     sampling: Optional[str] = None,
     ci_target: Optional[float] = None,
     batch: Optional[int] = None,
+    backend: Optional[str] = None,
     paired: Optional[bool] = None,
     table_budget: Optional[bool] = None,
     request: Optional[RunRequest] = None,
@@ -525,11 +540,12 @@ def run_suite(
     req = _merge_request(request, instructions=instructions, skip=skip,
                          jobs=jobs, cache=cache, frontend=frontend,
                          sampling=sampling, ci_target=ci_target, batch=batch,
-                         paired=paired, table_budget=table_budget)
+                         backend=backend, paired=paired,
+                         table_budget=table_budget)
     names = list(workloads) if workloads is not None else sorted(spec2006_profiles())
     profiles = [get_profile(name) for name in names]
     runner = executor if executor is not None \
-        else _executor_for(req.jobs, req.cache, req.batch)
+        else _executor_for(req.jobs, req.cache, req.batch, req.backend)
     if req.sampling == "adaptive" and req.table_budget is not False:
         return _sampled_table(profiles, configs, req, runner)
     if req.sampling != "off":

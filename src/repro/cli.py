@@ -19,11 +19,24 @@ Commands:
 * ``profile WORKLOAD``          -- cProfile one run, print top hotspots
 * ``stress list|run``           -- stress-kernel families vs their
   expected-bottleneck contracts (§13)
+* ``worker``                    -- lease and execute jobs from a shared
+  queue directory (the fabric's execution side, DESIGN.md §16)
+* ``serve``                     -- line-JSON sweep server: concurrent
+  clients submit ``RunRequest`` sweeps, cells stream back as they
+  finish, overlapping submissions dedup across clients
+* ``submit``                    -- run a suite *through the fabric*
+  (``--queue-dir`` pushes onto the shared queue, ``--host`` talks to a
+  ``repro serve``); renders the same table as ``suite``
+* ``status``                    -- fabric status: queue counts or serve
+  counters, plus recent cells with their top-down movers
 
 Simulations run through the sweep executor: ``--jobs N`` (or ``REPRO_JOBS``)
 fans independent runs across worker processes, and results persist in the
 on-disk cache (``REPRO_CACHE_DIR``; ``--no-cache`` or ``REPRO_CACHE=0``
-disables it).  ``--frontend replay`` (or ``REPRO_FRONTEND=replay``) feeds
+disables it).  ``--backend inline|process|queue`` (or ``REPRO_BACKEND``)
+picks where planned units execute, and ``--queue-dir`` points the queue
+backend at a shared directory (or ``REPRO_QUEUE_DIR``).  ``--frontend
+replay`` (or ``REPRO_FRONTEND=replay``) feeds
 the timing model from recorded traces instead of live functional execution
 -- bit-identical results, much faster sweeps.  ``--sampling fixed|adaptive``
 (or ``REPRO_SAMPLING``) estimates whole-span metrics from sampled regions
@@ -31,18 +44,23 @@ instead of simulating everything, annotating every figure with its ~95% CI;
 ``--sampling adaptive`` keeps adding regions until the CI half-width falls
 below ``--ci-target`` (or ``REPRO_CI_TARGET``).  ``--batch N`` (or
 ``REPRO_BATCH``) lets up to N replay configs of one workload share a
-single batched trace walk (DESIGN.md §12); 0 disables batching.  These
-shared flags follow one precedence everywhere: explicit flag >
+single batched trace walk (DESIGN.md §12); 0 disables batching.
+``--request-file FILE`` loads a serialized ``RunRequest`` (the wire
+JSON, DESIGN.md §16) as the baseline the flags override.  These shared
+flags are declared once per *flag family* (:func:`add_flag_families`)
+and follow one precedence everywhere: explicit flag > request file >
 environment > default.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import math
 import os
 import sys
-from typing import List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
 
 from .analysis import (
     breakdown_of,
@@ -63,7 +81,20 @@ from .api import (
 )
 from .core import ProcessorConfig
 from .core.stats import D_BP_BRANCH_MPKI_THRESHOLD
-from .exec import CACHE_SCHEMA_VERSION, ResultCache, SweepExecutor
+from .exec import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_LEASE_TTL,
+    DEFAULT_MAX_ATTEMPTS,
+    JobQueue,
+    ProcessPoolBackend,
+    QueueBackend,
+    ResultCache,
+    SweepExecutor,
+    WireError,
+    backend_names,
+    create_backend,
+    run_worker,
+)
 from .pubs import PubsConfig, pubs_hardware_cost
 from .verify import InvariantViolation
 from .workloads import build_program, get_profile, spec2006_profiles
@@ -159,58 +190,124 @@ def _non_negative_int(text: str) -> int:
     return value
 
 
+#: Named flag families (registered by :func:`_flag_family`); each is
+#: declared exactly once and attached wherever it applies.
+_FLAG_FAMILIES: "Dict[str, Callable[[argparse.ArgumentParser], None]]" = {}
+
+
+def _flag_family(name: str):
+    """Register a function that declares one family of shared flags."""
+    def register(declare):
+        _FLAG_FAMILIES[name] = declare
+        return declare
+    return register
+
+
+def add_flag_families(parser: argparse.ArgumentParser,
+                      *families: str) -> argparse.ArgumentParser:
+    """Attach the named flag families to ``parser`` (declared once,
+    reused everywhere -- the registrar behind :func:`_shared_parent`)."""
+    for name in families:
+        _FLAG_FAMILIES[name](parser)
+    return parser
+
+
+@_flag_family("exec")
+def _exec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        metavar="N",
+                        help="worker processes for independent simulations "
+                             "(default: REPRO_JOBS or the usable-CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result cache")
+    parser.add_argument("--batch", type=_non_negative_int, default=None,
+                        metavar="N",
+                        help="max replay configs sharing one batched trace "
+                             "walk (default: REPRO_BATCH, else 16; 0 or 1 "
+                             "disables batching)")
+
+
+@_flag_family("backend")
+def _backend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None,
+                        choices=list(backend_names()),
+                        help="execution backend for planned units "
+                             "(default: REPRO_BACKEND, else process)")
+    parser.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="shared queue directory for the queue backend "
+                             "(default: REPRO_QUEUE_DIR, else the cache's "
+                             "queue namespace)")
+
+
+@_flag_family("frontend")
+def _frontend_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--frontend", default=None,
+                        choices=["live", "replay"],
+                        help="correct-path supply: live functional "
+                             "execution or trace replay (default: "
+                             "REPRO_FRONTEND, else live)")
+
+
+@_flag_family("sampling")
+def _sampling_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sampling", default=None,
+                        choices=["off", "fixed", "adaptive"],
+                        help="estimate from sampled regions instead of "
+                             "simulating the whole span (default: "
+                             "REPRO_SAMPLING, else off)")
+    parser.add_argument("--ci-target", type=_positive_float, default=None,
+                        metavar="FRAC",
+                        help="relative CI half-width adaptive sampling "
+                             "drives toward (default: REPRO_CI_TARGET, "
+                             "else 0.05)")
+    parser.add_argument("--no-paired", action="store_true",
+                        help="combine sampled comparison CIs in quadrature "
+                             "instead of the common-regions paired "
+                             "jackknife (default: paired, or REPRO_PAIRED)")
+    parser.add_argument("--no-table-budget", action="store_true",
+                        help="adaptive suites: drive every cell to its own "
+                             "CI target instead of spending the budget on "
+                             "the table's worst CI-to-target ratio "
+                             "(default: table-wide, or REPRO_TABLE_BUDGET)")
+
+
+@_flag_family("request")
+def _request_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--request-file", default=None, metavar="FILE",
+                        help="baseline RunRequest as wire JSON (see "
+                             "RunRequest.to_json); explicit flags override "
+                             "its fields")
+
+
 def _shared_parent() -> argparse.ArgumentParser:
     """The execution flags every simulating subcommand shares.
 
     One parent parser instead of per-command copies, so run / compare /
     suite / sample / verify / profile stay flag-compatible and the
-    flag > environment > default precedence is implemented (and tested)
-    exactly once, in :func:`_request_from_args` + ``RunRequest``.
+    flag > request file > environment > default precedence is
+    implemented (and tested) exactly once, in
+    :func:`_request_from_args` + ``RunRequest``.
     """
     parent = argparse.ArgumentParser(add_help=False)
-    parent.add_argument("--jobs", type=_positive_int, default=None,
-                        metavar="N",
-                        help="worker processes for independent simulations "
-                             "(default: REPRO_JOBS or the CPU count)")
-    parent.add_argument("--no-cache", action="store_true",
-                        help="bypass the persistent result cache")
-    parent.add_argument("--frontend", default=None,
-                        choices=["live", "replay"],
-                        help="correct-path supply: live functional "
-                             "execution or trace replay (default: "
-                             "REPRO_FRONTEND, else live)")
-    parent.add_argument("--sampling", default=None,
-                        choices=["off", "fixed", "adaptive"],
-                        help="estimate from sampled regions instead of "
-                             "simulating the whole span (default: "
-                             "REPRO_SAMPLING, else off)")
-    parent.add_argument("--ci-target", type=_positive_float, default=None,
-                        metavar="FRAC",
-                        help="relative CI half-width adaptive sampling "
-                             "drives toward (default: REPRO_CI_TARGET, "
-                             "else 0.05)")
-    parent.add_argument("--batch", type=_non_negative_int, default=None,
-                        metavar="N",
-                        help="max replay configs sharing one batched trace "
-                             "walk (default: REPRO_BATCH, else 16; 0 or 1 "
-                             "disables batching)")
-    parent.add_argument("--no-paired", action="store_true",
-                        help="combine sampled comparison CIs in quadrature "
-                             "instead of the common-regions paired "
-                             "jackknife (default: paired, or REPRO_PAIRED)")
-    parent.add_argument("--no-table-budget", action="store_true",
-                        help="adaptive suites: drive every cell to its own "
-                             "CI target instead of spending the budget on "
-                             "the table's worst CI-to-target ratio "
-                             "(default: table-wide, or REPRO_TABLE_BUDGET)")
-    return parent
+    return add_flag_families(parent, "exec", "backend", "frontend",
+                             "sampling", "request")
+
+
+#: Budget the simulating subcommands apply when neither a flag nor a
+#: request file provides one (distinct from the library's 20k/2k).
+CLI_INSTRUCTIONS = 10_000
+CLI_SKIP = 10_000
 
 
 def _add_budget_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("-n", "--instructions", type=int, default=10_000,
-                        help="committed instructions to simulate")
-    parser.add_argument("--skip", type=int, default=10_000,
-                        help="instructions fast-forwarded for warm-up")
+    # default=None so a request file can supply the budget; the CLI
+    # default applies last, in _request_from_args.
+    parser.add_argument("-n", "--instructions", type=int, default=None,
+                        help="committed instructions to simulate "
+                             f"(default {CLI_INSTRUCTIONS})")
+    parser.add_argument("--skip", type=int, default=None,
+                        help="instructions fast-forwarded for warm-up "
+                             f"(default {CLI_SKIP})")
 
 
 def _cache_flag(args) -> Optional[bool]:
@@ -218,20 +315,41 @@ def _cache_flag(args) -> Optional[bool]:
     return False if args.no_cache else None
 
 
+def _executor_from_args(args) -> SweepExecutor:
+    """The executor a fabric-aware subcommand's flags describe.
+
+    ``--backend`` / ``--queue-dir`` build an explicit backend (a bare
+    ``--queue-dir`` implies the queue backend); without either the
+    executor follows ``REPRO_BACKEND``, preserving the classic local
+    process pool.
+    """
+    spec = getattr(args, "backend", None)
+    queue_dir = getattr(args, "queue_dir", None)
+    backend = None
+    if spec is not None or queue_dir is not None:
+        backend = create_backend(spec if spec is not None else "queue",
+                                 jobs=args.jobs, queue_dir=queue_dir)
+    return SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
+                         batch=args.batch, backend=backend)
+
+
 def _request_from_args(args) -> RunRequest:
     """One :class:`RunRequest` from whatever flags the command carries.
 
-    Unset flags stay None, so the request's :meth:`~repro.core.config.
-    RunRequest.resolved` step (inside the runner) lets the environment
-    fill them and the library defaults apply last -- the flag > env >
-    default precedence, in one place for every subcommand.
+    ``--request-file`` (when the command takes one) supplies the
+    baseline; explicit flags override its fields; unset fields stay
+    None, so the request's :meth:`~repro.core.config.RunRequest.
+    resolved` step (inside the runner) lets the environment fill them
+    and the library defaults apply last -- the flag > request file >
+    env > default precedence, in one place for every subcommand.
     """
-    return RunRequest(
+    flags = RunRequest(
         instructions=getattr(args, "instructions", None),
         skip=getattr(args, "skip", None),
         jobs=getattr(args, "jobs", None),
         cache=False if getattr(args, "no_cache", False) else None,
         batch=getattr(args, "batch", None),
+        backend=getattr(args, "backend", None),
         frontend=getattr(args, "frontend", None),
         sampling=getattr(args, "sampling", None),
         ci_target=getattr(args, "ci_target", None),
@@ -244,6 +362,20 @@ def _request_from_args(args) -> RunRequest:
         table_budget=False if getattr(args, "no_table_budget", False)
         else None,
     )
+    request_file = getattr(args, "request_file", None)
+    if request_file:
+        base = RunRequest.from_json(Path(request_file).read_text())
+        flags = base.with_overrides(**{
+            field.name: getattr(flags, field.name)
+            for field in dataclasses.fields(RunRequest)})
+    # The CLI's classic budget applies only to commands that expose
+    # budget flags, and only when nothing else supplied one.
+    if hasattr(args, "instructions"):
+        flags = flags.with_overrides(
+            instructions=CLI_INSTRUCTIONS if flags.instructions is None
+            else None,
+            skip=CLI_SKIP if flags.skip is None else None)
+    return flags
 
 
 def _pct(value: float) -> str:
@@ -357,8 +489,7 @@ def _cmd_compare(args) -> int:
     variant = _machine_from_args(args)
     if variant == base:  # default comparison is against PUBS
         variant = base.with_pubs()
-    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
-                             batch=args.batch)
+    executor = _executor_from_args(args)
     pair = run_pair(args.workload, base, variant,
                     request=_request_from_args(args), executor=executor)
     bc, vc = pair.base_cell, pair.variant_cell
@@ -413,21 +544,25 @@ def _print_topdown_delta(workload: str, base_cell: WorkloadRun,
     print(delta.render())
 
 
-def _cmd_suite(args) -> int:
+def _suite_configs(args) -> "tuple[ProcessorConfig, ProcessorConfig]":
+    """suite/submit's base and variant machines (default variant: PUBS)."""
     base = ProcessorConfig.cortex_a72_like()
     variant = _machine_from_args(args)
     if variant == base:
         variant = base.with_pubs()
-    names = args.workloads or sorted(spec2006_profiles())
-    # One executor for the whole sweep: it dedupes, serves warm results
-    # from the persistent cache, and fans misses over --jobs -- and its
-    # hit/miss summary below covers every cell, sampled or not.
-    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
-                             batch=args.batch)
-    req = _request_from_args(args)
-    results = run_suite({"base": base, "variant": variant}, names,
-                        request=req, executor=executor)
-    use_paired = req.resolved().paired is not False
+    return base, variant
+
+
+def _render_suite_table(names, results, use_paired: bool,
+                        executor: Optional[SweepExecutor] = None,
+                        summary_line: Optional[str] = None) -> int:
+    """Render a base-vs-variant suite result table (suite *and* submit).
+
+    One rendering path for every transport: results computed locally,
+    via the queue, or streamed from a serve all land here, which is
+    what makes "the submit table is bit-identical to the suite table"
+    checkable with a plain diff.
+    """
     sampled_mode = any(isinstance(cell, WorkloadRun)
                        for cell in results["base"].values())
     rows = []
@@ -454,13 +589,16 @@ def _cmd_suite(args) -> int:
             row.append(ci_txt)
         rows.append(row)
         print(f"  {name}: {(speedup - 1.0) * 100.0:+.2f}%", file=sys.stderr)
-    print(f"  [{executor.summary()}]", file=sys.stderr)
+    if summary_line is None and executor is not None:
+        summary_line = executor.summary()
+    if summary_line:
+        print(f"  [{summary_line}]", file=sys.stderr)
     rows.sort(key=lambda r: (r[1], -r[2]))
     header = ["workload", "set", "branch MPKI", "LLC MPKI", "speedup %"]
     if sampled_mode:
         header.append("95% CI")
     print(render_table(header, rows))
-    if sampled_mode:
+    if sampled_mode and executor is not None:
         _print_spend([cell for row in results.values()
                       for cell in row.values()], executor)
     if dbp_ratios:
@@ -468,6 +606,21 @@ def _cmd_suite(args) -> int:
     if ebp_ratios:
         print(f"GM E-BP: {(geometric_mean(ebp_ratios) - 1) * 100:+.2f}%")
     return 0
+
+
+def _cmd_suite(args) -> int:
+    base, variant = _suite_configs(args)
+    names = args.workloads or sorted(spec2006_profiles())
+    # One executor for the whole sweep: it dedupes, serves warm results
+    # from the persistent cache, and fans misses over --jobs -- and its
+    # hit/miss summary below covers every cell, sampled or not.
+    executor = _executor_from_args(args)
+    req = _request_from_args(args)
+    results = run_suite({"base": base, "variant": variant}, names,
+                        request=req, executor=executor)
+    return _render_suite_table(names, results,
+                               use_paired=req.resolved().paired is not False,
+                               executor=executor)
 
 
 def _cmd_report(args) -> int:
@@ -478,8 +631,7 @@ def _cmd_report(args) -> int:
     req = _request_from_args(args)
     names = args.workloads or sorted(spec2006_profiles())
     machine = _machine_from_args(args)
-    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
-                             batch=args.batch)
+    executor = _executor_from_args(args)
     if args.compare:
         base = ProcessorConfig.cortex_a72_like()
         variant = machine if machine != base else base.with_pubs()
@@ -529,13 +681,15 @@ def _cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.directory}")
         return 0
-    # One row pair per namespace: simulation results live at the root,
-    # traces and warm checkpoints in their own subdirectories (see
-    # ResultCache.for_namespace), so usage is reported where it accrues.
+    # One row pair per namespace: simulation results live at the root;
+    # traces, warm checkpoints and the shared queue's results in their
+    # own subdirectories (see ResultCache.for_namespace), so usage is
+    # reported where it accrues.  The queue namespace doubles as the
+    # default fabric queue directory (repro worker / submit).
     root = cache.directory
     namespaces = [("results", cache)] + [
         (name, ResultCache.for_namespace(name, root))
-        for name in ("traces", "warm")]
+        for name in ("traces", "warm", "queue")]
     rows = [["directory", str(root)],
             ["schema version", str(CACHE_SCHEMA_VERSION)]]
     total_entries = 0
@@ -720,8 +874,11 @@ def _cmd_profile(args) -> int:
     profiler.enable()
     # cache=False: profiling a cache hit would measure pickle, not the
     # simulator.
-    result = run_workload(args.workload, config, args.instructions,
-                          args.skip, cache=False, frontend=args.frontend,
+    instructions = CLI_INSTRUCTIONS if args.instructions is None \
+        else args.instructions
+    skip = CLI_SKIP if args.skip is None else args.skip
+    result = run_workload(args.workload, config, instructions,
+                          skip, cache=False, frontend=args.frontend,
                           sampling="off")
     profiler.disable()
     print(result.summary())
@@ -763,6 +920,141 @@ def _cmd_stress(args) -> int:
     print(f"{total - failures}/{total} {noun} satisfied the "
           "expected-bottleneck contract")
     return 1 if failures else 0
+
+
+def _cmd_worker(args) -> int:
+    if args.lease_ttl <= 0:
+        print("error: --lease-ttl must be positive", file=sys.stderr)
+        return 2
+    if args.max_attempts < 1:
+        print("error: --max-attempts must be a positive count",
+              file=sys.stderr)
+        return 2
+    log = None if args.quiet \
+        else (lambda message: print(message, file=sys.stderr))
+    try:
+        executed = run_worker(
+            args.queue_dir, lease_ttl=args.lease_ttl,
+            max_attempts=args.max_attempts, poll=args.poll,
+            drain=args.drain, idle_timeout=args.idle_timeout,
+            max_jobs=args.max_jobs, log=log)
+    except KeyboardInterrupt:
+        print("worker interrupted", file=sys.stderr)
+        return 130
+    print(f"worker exit: {executed} unit(s) executed")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import SweepServer, serve_forever
+    if args.backend is not None or args.queue_dir is not None:
+        backend = create_backend(
+            args.backend if args.backend is not None else "queue",
+            jobs=args.jobs, queue_dir=args.queue_dir)
+    else:
+        # A persistent pool: serve submits many small unit lists over
+        # its lifetime, so per-call pool setup would dominate.
+        backend = ProcessPoolBackend(args.jobs, keep_pool=True)
+    server = SweepServer(backend=backend, cache=_cache_flag(args),
+                         jobs=args.jobs)
+
+    def ready(port: int) -> None:
+        print(f"repro serve: listening on {args.host}:{port} "
+              f"[backend {server.backend.describe()}]", file=sys.stderr)
+
+    try:
+        asyncio.run(serve_forever(server, args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("serve interrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    if _reject_sampling(args, "submit",
+                        "streams full per-cell results; run sampled "
+                        "estimation locally (e.g. suite --sampling) "
+                        "over the queue backend"):
+        return 2
+    base, variant = _suite_configs(args)
+    names = args.workloads or sorted(spec2006_profiles())
+    req = _request_from_args(args)
+    if args.host:
+        from .serve import DEFAULT_PORT, submit_sweep
+
+        def on_cell(cell) -> None:
+            metrics = cell["metrics"]
+            how = "cached" if cell["cached"] else (
+                "deduped" if cell["deduped"] else "simulated")
+            print(f"  {cell['config']}/{cell['workload']}: "
+                  f"cpi {metrics['cpi']:.4f} "
+                  f"mover {cell['topdown']['mover']} [{how}]",
+                  file=sys.stderr)
+
+        port = args.port if args.port is not None else DEFAULT_PORT
+        reply = submit_sweep(args.host, port, req.resolved(),
+                             {"base": base, "variant": variant}, names,
+                             on_cell=on_cell)
+        counters = reply.summary.get("counters", {})
+        summary_line = " ".join(
+            f"{key}={value}" for key, value in counters.items())
+        return _render_suite_table(names, reply.results(), use_paired=True,
+                                   summary_line=summary_line)
+    backend = QueueBackend(root=args.queue_dir,
+                           local_workers=args.local_workers,
+                           timeout=args.timeout)
+    executor = SweepExecutor(jobs=args.jobs, cache=_cache_flag(args),
+                             batch=args.batch, backend=backend)
+    results = run_suite({"base": base, "variant": variant}, names,
+                        request=req, executor=executor)
+    return _render_suite_table(names, results,
+                               use_paired=req.resolved().paired is not False,
+                               executor=executor)
+
+
+def _cmd_status(args) -> int:
+    from .serve import mover_text, topdown_summary
+    if args.host:
+        from .serve import DEFAULT_PORT, fetch_status
+        port = args.port if args.port is not None else DEFAULT_PORT
+        status = fetch_status(args.host, port)
+        recent = status.pop("recent", None) or []
+        print(render_table(["property", "value"],
+                           [[key, str(value)]
+                            for key, value in status.items()]))
+        if recent:
+            print()
+            print(render_table(
+                ["config", "workload", "CPI", "top mover"],
+                [[cell["config"], cell["workload"], f"{cell['cpi']:.4f}",
+                  f"{cell['mover']} {cell['mover_cpi']:.3f} CPI"]
+                 for cell in recent[-args.cells:]]))
+        return 0
+    queue = JobQueue(args.queue_dir)
+    counts = queue.counts()
+    results = ResultCache(queue.root)
+    rows = [["queue directory", str(queue.root)]]
+    rows += [[state, str(counts.get(state, 0))]
+             for state in ("pending", "leased", "done", "failed")]
+    rows.append(["results cached", str(len(results))])
+    print(render_table(["property", "value"], rows))
+    cell_rows = []
+    for _job_id, unit in queue.recent_done(args.cells):
+        for key, job in unit:
+            result = results.get(key)
+            if result is None:
+                continue
+            stats = result.stats
+            cell_rows.append([
+                job.profile.name,
+                f"{stats.cycles / stats.committed:.4f}",
+                mover_text(topdown_summary(result))])
+    if cell_rows:
+        print()
+        print(render_table(["workload", "CPI", "top mover"],
+                           cell_rows[:args.cells]))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -926,6 +1218,80 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(p_prof)
     _add_budget_args(p_prof)
 
+    p_wk = sub.add_parser(
+        "worker",
+        help="lease and execute jobs from a shared queue directory "
+             "(DESIGN.md §16)")
+    p_wk.add_argument("--queue-dir", default=None, metavar="DIR",
+                      help="queue directory (default: REPRO_QUEUE_DIR or "
+                           "the cache's queue namespace)")
+    p_wk.add_argument("--poll", type=float, default=0.1, metavar="SEC",
+                      help="idle sleep between lease attempts")
+    p_wk.add_argument("--drain", action="store_true",
+                      help="exit as soon as no job is leasable")
+    p_wk.add_argument("--idle-timeout", type=float, default=None,
+                      metavar="SEC",
+                      help="exit after this many idle seconds")
+    p_wk.add_argument("--max-jobs", type=_positive_int, default=None,
+                      metavar="N", help="exit after executing N units")
+    p_wk.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                      metavar="SEC",
+                      help="seconds a lease survives without a heartbeat "
+                           f"(default {DEFAULT_LEASE_TTL:g})")
+    p_wk.add_argument("--max-attempts", type=int,
+                      default=DEFAULT_MAX_ATTEMPTS, metavar="N",
+                      help="lease attempts before a job parks as failed "
+                           f"(default {DEFAULT_MAX_ATTEMPTS})")
+    p_wk.add_argument("--quiet", action="store_true",
+                      help="no per-lease progress on stderr")
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="serve sweep submissions over a line-JSON socket "
+             "(DESIGN.md §16)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: an ephemeral port, "
+                            "printed on startup; the protocol default "
+                            "is 8723)")
+    add_flag_families(p_srv, "exec", "backend")
+
+    p_sm = sub.add_parser(
+        "submit",
+        help="run a suite through the fabric (shared queue or a serve)",
+        parents=shared)
+    p_sm.add_argument("--workloads", nargs="*", default=None)
+    p_sm.add_argument("--host", default=None,
+                      help="submit to a repro serve at this host instead "
+                           "of the shared queue")
+    p_sm.add_argument("--port", type=int, default=None,
+                      help="serve port (default 8723)")
+    p_sm.add_argument("--local-workers", type=_non_negative_int, default=0,
+                      metavar="N",
+                      help="queue transport: also spawn N local drain "
+                           "workers (0 relies on external repro worker "
+                           "processes)")
+    p_sm.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                      help="queue transport: give up after this long "
+                           "(default: wait forever)")
+    _add_machine_args(p_sm)
+    _add_budget_args(p_sm)
+
+    p_stat = sub.add_parser(
+        "status", help="fabric status: queue counts or serve counters")
+    p_stat.add_argument("--queue-dir", default=None, metavar="DIR",
+                        help="inspect this queue directory (default: "
+                             "REPRO_QUEUE_DIR or the cache's queue "
+                             "namespace)")
+    p_stat.add_argument("--host", default=None,
+                        help="ask a repro serve instead of a queue "
+                             "directory")
+    p_stat.add_argument("--port", type=int, default=None,
+                        help="serve port (default 8723)")
+    p_stat.add_argument("--cells", type=_positive_int, default=8,
+                        metavar="N",
+                        help="recent cells to summarize (default 8)")
+
     return parser
 
 
@@ -943,6 +1309,10 @@ _COMMANDS = {
     "sample": _cmd_sample,
     "profile": _cmd_profile,
     "stress": _cmd_stress,
+    "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
 }
 
 
@@ -952,3 +1322,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _COMMANDS[args.command](args)
     except BrokenPipeError:  # e.g. `repro list | head`
         return 0
+    except WireError as exc:  # bad --request-file / fabric payload
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -264,6 +264,11 @@ class RunRequest:
     #: Max members per batched replay unit (None -> ``REPRO_BATCH`` ->
     #: the executor default; 0 or 1 disables batched grouping).
     batch: Optional[int] = None
+    #: Execution backend spec: ``"inline"`` / ``"process"`` / ``"queue"``
+    #: (None -> ``REPRO_BACKEND`` -> the local process pool).  The
+    #: executor layer resolves the name; an unknown spec fails there
+    #: with the registered names listed.
+    backend: Optional[str] = None
     #: Correct-path supply, "live"/"replay" (None -> ``REPRO_FRONTEND``).
     frontend: Optional[str] = None
     #: One of :data:`SAMPLING_MODES` (None -> ``REPRO_SAMPLING`` -> off).
@@ -299,6 +304,8 @@ class RunRequest:
         if self.frontend is not None and self.frontend not in ("live",
                                                                "replay"):
             raise ValueError(f"unknown frontend mode: {self.frontend!r}")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise ValueError("backend must be a registered spec name")
         if self.ci_target is not None:
             if self.ci_target <= 0:
                 raise ValueError("ci_target must be positive")
@@ -348,6 +355,44 @@ class RunRequest:
         """A copy with the given fields replaced (None leaves a field)."""
         changed = {k: v for k, v in kwargs.items() if v is not None}
         return replace(self, **changed) if changed else self
+
+    # ------------------------------------------------------------------
+    # Wire codec (DESIGN.md §16): the canonical serialization for queue
+    # payloads, the serve protocol and the CLI --request-file flag.
+    # ------------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """This request as a versioned wire envelope (JSON-ready)."""
+        from ..exec.wire import envelope  # late: repro.exec imports core
+        return envelope("RunRequest", self)
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "RunRequest":
+        """Decode a :meth:`to_wire` envelope (validates version + kind)."""
+        from ..exec.wire import WireError, open_envelope
+        request = open_envelope(data, kind="RunRequest")
+        if not isinstance(request, cls):
+            raise WireError(
+                f"RunRequest envelope carried {type(request).__name__}")
+        return request
+
+    def to_json(self) -> str:
+        """Compact one-line JSON text of :meth:`to_wire`."""
+        import json
+        return json.dumps(self.to_wire(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunRequest":
+        """Decode :meth:`to_json` output (or a ``--request-file`` body)."""
+        import json
+
+        from ..exec.wire import WireError
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WireError(f"malformed request JSON: {exc}") from None
+        return cls.from_wire(data)
 
 
 def size_models() -> Dict[str, ProcessorConfig]:

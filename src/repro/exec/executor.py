@@ -1,8 +1,8 @@
-"""Parallel sweep executor: dedup, cache, batch, fan out, reassemble.
+"""Parallel sweep executor: dedup, cache, batch, dispatch, reassemble.
 
-Every evaluation in the repo reduces to a batch of independent, deterministic
-(workload, config, budget) simulations.  :class:`SweepExecutor` takes such a
-batch and
+Every evaluation in the repo reduces to a batch of independent,
+deterministic (workload, config, budget) simulations.
+:class:`SweepExecutor` is the *planner* for such a batch:
 
 1. **deduplicates** it by content hash -- both within one call and across
    calls of the same executor (one suite submission), so a result requested
@@ -14,32 +14,34 @@ batch and
    :func:`~repro.exec.jobs.batch_signature` into :class:`~repro.exec.jobs.
    BatchJob` units (``--batch`` / ``REPRO_BATCH``; see :mod:`repro.batch`),
    so N same-window configs walk their trace once instead of N times;
-4. fans the resulting units out over a
-   :class:`concurrent.futures.ProcessPoolExecutor` sized by the ``--jobs``
-   CLI flag / ``REPRO_JOBS`` environment variable / ``os.cpu_count()``;
-5. returns results in request order, so callers are oblivious to scheduling.
+4. hands the resulting units to an :class:`~repro.exec.backend.
+   ExecutionBackend` -- inline, a local process pool sized by ``--jobs`` /
+   ``REPRO_JOBS``, or the shared job queue that ``repro worker``
+   processes drain (``--backend`` / ``REPRO_BACKEND``);
+5. returns results in request order, so callers are oblivious to
+   scheduling *and* to which backend (or which host) simulated what.
 
 Because each simulation is deterministic (seeded generators, fixed dynamic
 stream) and batch members keep private microarchitectural state, a parallel,
-cached, or batched run is *identical* to a serial fresh one -- the property
-the tier-1 executor and batch tests pin down.  Every batch member keeps its
-own job key, so warm-cache behavior is unchanged: cached members are served
-before grouping and never re-simulated.
+cached, batched or queued run is *identical* to a serial fresh one -- the
+property the backend-conformance suite pins down.  Every batch member keeps
+its own job key, so warm-cache behavior is unchanged: cached members are
+served before grouping and never re-simulated.
 
-A batch of one, or ``jobs=1``, runs inline in this process: no pool, no
-pickling, no surprises for small calls like ``run_pair``.
+The default backend is the process pool, whose "a batch of one, or
+``jobs=1``, runs inline in this process" rule keeps small calls like
+``run_pair`` free of pool and pickling overhead.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.simulator import SimulationResult
+from .backend import ExecutionBackend, ProcessPoolBackend, create_backend
 from .cache import ResultCache, cache_enabled_by_env
-from .jobs import BatchJob, SimJob, batch_signature, execute_batch, \
-    execute_job, job_key
+from .jobs import SimJob, batch_signature, job_key
 
 #: Default cap on members per batched replay unit.  Large enough to cover
 #: a Fig. 10-style sweep in one walk, small enough that one unit does not
@@ -48,7 +50,15 @@ DEFAULT_BATCH_LIMIT = 16
 
 
 def default_jobs() -> int:
-    """Worker count: ``REPRO_JOBS`` if set and positive, else cpu count."""
+    """Worker count: ``REPRO_JOBS`` if set and positive, else the CPUs
+    *this process may actually use*.
+
+    Containers and shared queue hosts routinely pin processes to a CPU
+    subset (and some report ``os.cpu_count() is None``), so the
+    affinity mask -- when the platform exposes one -- is the honest
+    parallelism bound: trusting the raw CPU count oversubscribes every
+    worker on the host.  Falls back to ``os.cpu_count()``, then 1.
+    """
     env = os.environ.get("REPRO_JOBS")
     if env:
         try:
@@ -57,7 +67,10 @@ def default_jobs() -> int:
                 return value
         except ValueError:
             pass
-    return os.cpu_count() or 1
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # non-Linux, or query refused
+        return os.cpu_count() or 1
 
 
 def default_batch_limit() -> int:
@@ -80,25 +93,13 @@ def default_batch_limit() -> int:
 _Entry = Tuple[str, SimJob]
 
 
-def _execute_unit(unit: Sequence[_Entry]) -> List[Tuple[str, SimulationResult]]:
-    """Worker-side shim: run one unit (module-level for pickling).
-
-    A unit is one or more keyed jobs; multi-job units share one batched
-    trace walk, single-job units run exactly as before.
-    """
-    if len(unit) == 1:
-        key, job = unit[0]
-        return [(key, execute_job(job))]
-    results = execute_batch(BatchJob(tuple(job for _, job in unit)))
-    return list(zip((key for key, _ in unit), results))
-
-
 class SweepExecutor:
-    """Batch runner with job dedup, persistent caching and a process pool."""
+    """Batch planner: dedup + cache + batching over a pluggable backend."""
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: "Optional[ResultCache | bool]" = None,
-                 batch: Optional[int] = None):
+                 batch: Optional[int] = None,
+                 backend: "Optional[ExecutionBackend | str]" = None):
         """``jobs``: worker count (None -> :func:`default_jobs`).
 
         ``cache``: a :class:`ResultCache` to use, ``False`` to disable
@@ -108,10 +109,20 @@ class SweepExecutor:
         ``batch``: max members per batched replay unit; ``0`` or ``1``
         disables grouping, None follows ``REPRO_BATCH`` (default
         :data:`DEFAULT_BATCH_LIMIT`).
+
+        ``backend``: where planned units execute -- an
+        :class:`ExecutionBackend` instance, a registered spec name
+        (``"inline"`` / ``"process"`` / ``"queue"``), or None to follow
+        ``REPRO_BACKEND`` (default: the local process pool, which
+        preserves the classic executor behavior bit for bit).
         """
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.batch = default_batch_limit() if batch is None \
             else max(0, int(batch))
+        if isinstance(backend, ExecutionBackend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(backend, jobs=self.jobs)
         if cache is None:
             self.cache: Optional[ResultCache] = (
                 ResultCache() if cache_enabled_by_env() else None)
@@ -195,12 +206,7 @@ class SweepExecutor:
                 if len(unit) > 1:
                     self.batches_run += 1
                     self.batched_jobs += len(unit)
-            workers = min(self.jobs, len(units))
-            if workers > 1:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    produced_units = list(pool.map(_execute_unit, units))
-            else:
-                produced_units = [_execute_unit(unit) for unit in units]
+            produced_units = self.backend.run_units(units)
             for unit_results in produced_units:
                 for key, result in unit_results:
                     results[key] = result
@@ -214,6 +220,10 @@ class SweepExecutor:
         """Run a single job (inline; still deduped against the cache)."""
         return self.run([job])[0]
 
+    def close(self) -> None:
+        """Release the backend's held resources (pools, connections)."""
+        self.backend.close()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -222,6 +232,10 @@ class SweepExecutor:
         parts = [f"jobs={self.jobs}",
                  f"simulations={self.simulations_run}",
                  f"deduplicated={self.deduplicated}"]
+        if not isinstance(self.backend, ProcessPoolBackend):
+            # The classic local pool stays implicit; anything else is
+            # worth a word in the spend line.
+            parts.insert(1, f"backend={self.backend.describe()}")
         if self.batch >= 2:
             parts.append(f"batched={self.batched_jobs}"
                          f"(in {self.batches_run} batches)")

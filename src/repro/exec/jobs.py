@@ -137,3 +137,19 @@ def execute_batch(batch: BatchJob) -> List[SimulationResult]:
     """Run a batch to completion (in this process), one walk of the trace."""
     from ..batch import run_batch  # deferred: repro.batch builds on repro.exec
     return run_batch(batch.jobs)
+
+
+def execute_unit(unit) -> "List[Tuple[str, SimulationResult]]":
+    """Run one planned unit of keyed jobs (module-level for pickling).
+
+    The primitive every execution backend -- and every ``repro
+    worker`` -- runs: a unit is one or more ``(job_key, SimJob)``
+    entries; multi-job units share one batched trace walk, single-job
+    units run exactly as a direct :func:`execute_job` call.
+    """
+    entries = list(unit)
+    if len(entries) == 1:
+        key, job = entries[0]
+        return [(key, execute_job(job))]
+    results = execute_batch(BatchJob(tuple(job for _, job in entries)))
+    return list(zip((key for key, _ in entries), results))

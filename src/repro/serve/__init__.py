@@ -1,0 +1,37 @@
+"""The sweep-serving front end: ``repro serve`` and its clients.
+
+A thin asyncio layer over the exec fabric: many concurrent clients
+submit serialized :class:`~repro.core.config.RunRequest` sweeps over a
+line-delimited JSON protocol (:mod:`repro.serve.protocol`), the server
+(:mod:`repro.serve.server`) streams per-cell results back as they
+complete, and overlapping submissions -- same workload, same config,
+same budget -- deduplicate across clients by content-addressed job key.
+:mod:`repro.serve.client` is the matching client library, which ``repro
+submit --host`` and ``repro status --host`` wrap.
+"""
+
+from .client import (
+    ServeError,
+    SweepReply,
+    fetch_status,
+    fetch_status_async,
+    submit_sweep,
+    submit_sweep_async,
+)
+from .protocol import DEFAULT_PORT, WIRE_SCHEMA_VERSION
+from .server import SweepServer, mover_text, serve_forever, topdown_summary
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServeError",
+    "SweepReply",
+    "SweepServer",
+    "WIRE_SCHEMA_VERSION",
+    "fetch_status",
+    "fetch_status_async",
+    "mover_text",
+    "serve_forever",
+    "submit_sweep",
+    "submit_sweep_async",
+    "topdown_summary",
+]

@@ -1,0 +1,133 @@
+"""Client side of the serve protocol: submit sweeps, stream cells.
+
+The async functions are the protocol implementation; the plain
+functions wrap them in ``asyncio.run`` for synchronous callers (the
+``repro submit`` / ``repro status`` subcommands and tests).  A reply
+carries every streamed cell event *and* reassembles the request-order
+result table, so a client gets both the live stream (via ``on_cell``)
+and the same nested ``results[config][workload]`` mapping
+:func:`repro.api.run_suite` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
+
+from ..core.config import ProcessorConfig, RunRequest
+from ..core.simulator import SimulationResult
+from .protocol import DEFAULT_PORT, MAX_LINE_BYTES, decode_message, \
+    encode_message
+
+
+class ServeError(RuntimeError):
+    """The server answered an exchange with an ``error`` event."""
+
+
+@dataclass
+class SweepReply:
+    """Everything one ``sweep-submit`` exchange produced."""
+
+    cells: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Dict[str, Any] = field(default_factory=dict)
+
+    def results(self) -> "Dict[str, Dict[str, SimulationResult]]":
+        """Request-ordered ``results[config][workload]`` table."""
+        out: Dict[str, Dict[str, SimulationResult]] = {}
+        for cell in sorted(self.cells, key=lambda c: c["index"]):
+            out.setdefault(cell["config"], {})[cell["workload"]] = \
+                cell["result"]
+        return out
+
+
+async def _read_event(reader: asyncio.StreamReader) -> "tuple[str, Any]":
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed the connection mid-exchange")
+    kind, payload = decode_message(line)
+    if kind == "error":
+        raise ServeError(payload.get("message", "unspecified server error"))
+    return kind, payload
+
+
+async def submit_sweep_async(
+    host: str, port: int,
+    request: RunRequest,
+    configs: Mapping[str, ProcessorConfig],
+    workloads: Iterable[str],
+    on_cell: "Optional[Callable[[Dict[str, Any]], None]]" = None,
+) -> SweepReply:
+    """Submit one sweep; stream cells until the terminating ``done``."""
+    reader, writer = await asyncio.open_connection(host, port,
+                                                   limit=MAX_LINE_BYTES)
+    try:
+        writer.write(encode_message("sweep-submit", {
+            "request": request,
+            "configs": dict(configs),
+            "workloads": list(workloads),
+        }))
+        await writer.drain()
+        reply = SweepReply()
+        while True:
+            kind, payload = await _read_event(reader)
+            if kind == "cell":
+                reply.cells.append(payload)
+                if on_cell is not None:
+                    on_cell(payload)
+            elif kind == "done":
+                reply.summary = payload
+                return reply
+            else:
+                raise ServeError(f"unexpected event {kind!r} mid-stream")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def fetch_status_async(host: str, port: int) -> Dict[str, Any]:
+    """One ``status-request`` exchange."""
+    reader, writer = await asyncio.open_connection(host, port,
+                                                   limit=MAX_LINE_BYTES)
+    try:
+        writer.write(encode_message("status-request", {}))
+        await writer.drain()
+        kind, payload = await _read_event(reader)
+        if kind != "status":
+            raise ServeError(f"expected a status event, got {kind!r}")
+        return payload
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+def submit_sweep(host: str, port: int, request: RunRequest,
+                 configs: Mapping[str, ProcessorConfig],
+                 workloads: Iterable[str],
+                 on_cell: "Optional[Callable[[Dict[str, Any]], None]]" = None,
+                 ) -> SweepReply:
+    """Synchronous :func:`submit_sweep_async` (own event loop)."""
+    return asyncio.run(submit_sweep_async(host, port, request, configs,
+                                          workloads, on_cell=on_cell))
+
+
+def fetch_status(host: str, port: int) -> Dict[str, Any]:
+    """Synchronous :func:`fetch_status_async` (own event loop)."""
+    return asyncio.run(fetch_status_async(host, port))
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "ServeError",
+    "SweepReply",
+    "fetch_status",
+    "fetch_status_async",
+    "submit_sweep",
+    "submit_sweep_async",
+]

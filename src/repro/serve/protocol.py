@@ -1,0 +1,91 @@
+"""Line-delimited JSON protocol between ``repro serve`` and its clients.
+
+One message per line; every line is a wire envelope
+(:mod:`repro.exec.wire`), so the protocol inherits the wire schema
+version and the repro-types-only decoding restriction.  The exchange is
+strictly request/response-stream:
+
+Client -> server (one per exchange):
+
+* ``sweep-submit`` -- ``{"request": RunRequest, "configs": {name:
+  ProcessorConfig}, "workloads": [names]}``.  The server answers with a
+  stream of ``cell`` events (one per (config, workload) pair, in
+  completion order) terminated by one ``done`` event.
+* ``status-request`` -- ``{}``.  The server answers with one ``status``
+  event.
+
+Server -> client:
+
+* ``cell`` -- ``{"index", "config", "workload", "key", "cached",
+  "deduped", "metrics": {"cpi", "ipc", "branch_mpki", "llc_mpki"},
+  "topdown": {"mover", "level1": {bucket: cpi contribution}},
+  "result": SimulationResult}``.  ``index`` is the cell's position in
+  the submission's (config-major) cross product, so clients reassemble
+  request order from completion order.
+* ``done`` -- ``{"cells", "counters": {...}}``: the submission is
+  complete; every cell event has been sent.
+* ``status`` -- server counters plus recent-cell summaries (each with
+  its top-down mover), for ``repro status``.
+* ``error`` -- ``{"message"}``: the exchange failed; the connection
+  stays usable for the next request.
+
+A malformed or version-skewed line gets an ``error`` answer rather than
+a dropped connection, so a client two schema versions ahead learns
+*why* in its own terms.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Tuple
+
+from ..exec.wire import (
+    WIRE_SCHEMA_VERSION,
+    WireError,
+    open_envelope,
+    envelope,
+)
+
+#: Default TCP port ``repro serve`` listens on.
+DEFAULT_PORT = 8723
+#: Kinds a client may send.
+REQUEST_KINDS = ("sweep-submit", "status-request")
+#: Kinds a server may send.
+EVENT_KINDS = ("cell", "done", "status", "error")
+#: Hard cap on one message line; a line this long is a framing bug, not
+#: a big payload (a full cell event is a few KB).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def encode_message(kind: str, payload: Any) -> bytes:
+    """One protocol line: compact enveloped JSON plus the newline."""
+    text = json.dumps(envelope(kind, payload), sort_keys=True,
+                      separators=(",", ":"))
+    if "\n" in text:
+        raise WireError("protocol messages must be single-line JSON")
+    return text.encode("utf-8") + b"\n"
+
+
+def decode_message(line: bytes) -> Tuple[str, Any]:
+    """Parse one received line into ``(kind, decoded payload)``."""
+    try:
+        data = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed protocol line: {exc}") from None
+    if not isinstance(data, dict):
+        raise WireError("protocol lines must be JSON objects")
+    kind = data.get("kind")
+    if not isinstance(kind, str):
+        raise WireError("protocol line carries no message kind")
+    return kind, open_envelope(data, kind)
+
+
+__all__ = [
+    "DEFAULT_PORT",
+    "EVENT_KINDS",
+    "MAX_LINE_BYTES",
+    "REQUEST_KINDS",
+    "WIRE_SCHEMA_VERSION",
+    "decode_message",
+    "encode_message",
+]

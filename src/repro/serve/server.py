@@ -1,0 +1,343 @@
+"""The ``repro serve`` front end: concurrent sweep submissions, one cache.
+
+:class:`SweepServer` accepts line-JSON connections
+(:mod:`repro.serve.protocol`), plans each ``sweep-submit`` into
+per-cell :class:`~repro.exec.jobs.SimJob`\\ s, and streams results back
+as they complete.  The interesting property is *cross-client
+deduplication*: every cell is keyed by its content hash
+(:func:`~repro.exec.jobs.job_key`), and an in-flight or completed cell
+task is shared by reference -- two clients submitting overlapping
+sweeps concurrently cost one simulation per distinct cell, visible in
+the ``status`` counters (``dedup_hits``) and in ``repro cache stats``
+afterwards (one entry per distinct cell).
+
+Concurrency model: the asyncio loop owns all bookkeeping (the task map
+is only touched from the loop, so it needs no lock); blocking work --
+cache probes and backend dispatch -- runs in worker threads via
+``asyncio.to_thread``.  The server deliberately bypasses
+:class:`~repro.exec.executor.SweepExecutor` (whose memo is not
+thread-safe) and talks straight to an
+:class:`~repro.exec.backend.ExecutionBackend`: the task map *is* the
+dedup memo here, and the default pool backend (``keep_pool=True``) is
+safe to call from many threads at once.  Each submission caps its
+in-flight cells with a semaphore so one giant sweep cannot starve the
+loop.
+
+Serve handles full simulations only (``sampling="off"``): sampled
+estimation is an interactive escalation loop, which belongs client-side
+on top of the queue backend, not inside a request/stream exchange.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..analysis.runner import DEFAULT_INSTRUCTIONS, DEFAULT_SKIP
+from ..analysis.topdown import LEVEL1, TopdownBreakdown
+from ..core.config import ProcessorConfig, RunRequest
+from ..core.simulator import SimulationResult
+from ..exec.backend import ExecutionBackend, ProcessPoolBackend
+from ..exec.cache import ResultCache, cache_enabled_by_env
+from ..exec.executor import default_jobs
+from ..exec.jobs import SimJob, job_key
+from ..exec.wire import WireError
+from ..workloads.profiles import get_profile
+from .protocol import MAX_LINE_BYTES, decode_message, encode_message
+
+
+def topdown_summary(result: SimulationResult) -> Dict[str, Any]:
+    """Level-1 CPI contributions plus the biggest non-retiring mover.
+
+    The per-cell summary the serve stream and ``repro status`` attach
+    to every result: which top-down bucket is eating the cycles.
+    """
+    breakdown = TopdownBreakdown.from_result(result)
+    level1 = {bucket: breakdown.cpi_contribution(bucket)
+              for bucket in LEVEL1}
+    movers = {bucket: cpi for bucket, cpi in level1.items()
+              if bucket != "retiring"}
+    mover = max(movers, key=lambda bucket: movers[bucket])
+    return {"level1": level1, "mover": mover,
+            "mover_cpi": movers[mover]}
+
+
+def mover_text(summary: Dict[str, Any]) -> str:
+    """Render a :func:`topdown_summary` as one short token."""
+    return f"{summary['mover']} {summary['mover_cpi']:.3f} CPI"
+
+
+class _Cell:
+    """One planned (config, workload) cell of a submission."""
+
+    __slots__ = ("index", "config_name", "workload", "key", "job")
+
+    def __init__(self, index: int, config_name: str, workload: str,
+                 job: SimJob) -> None:
+        self.index = index
+        self.config_name = config_name
+        self.workload = workload
+        self.key = job_key(job)
+        self.job = job
+
+
+class SweepServer:
+    """Asyncio sweep server over one backend and one result cache."""
+
+    def __init__(self, backend: Optional[ExecutionBackend] = None,
+                 cache: "Optional[ResultCache | bool]" = None,
+                 jobs: Optional[int] = None,
+                 max_concurrency: Optional[int] = None) -> None:
+        jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.backend = backend if backend is not None \
+            else ProcessPoolBackend(jobs, keep_pool=True)
+        if cache is None:
+            self.cache: Optional[ResultCache] = (
+                ResultCache() if cache_enabled_by_env() else None)
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self._concurrency = max_concurrency or jobs
+        self._sem: Optional[asyncio.Semaphore] = None  # built on the loop
+        #: job key -> the (shared) task computing that cell.
+        self._tasks: "Dict[str, asyncio.Task]" = {}
+        self.clients_served = 0
+        self.submissions = 0
+        self.cells_served = 0
+        self.dedup_hits = 0
+        self.cache_hits = 0
+        self.simulated = 0
+        self.recent: "Deque[Dict[str, Any]]" = deque(maxlen=32)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _plan(self, payload: Any) -> "Tuple[RunRequest, List[_Cell]]":
+        if not isinstance(payload, dict):
+            raise WireError("sweep-submit payload must be a mapping")
+        request = payload.get("request")
+        configs = payload.get("configs")
+        workloads = payload.get("workloads")
+        if not isinstance(request, RunRequest):
+            raise WireError("sweep-submit needs a RunRequest under "
+                            "'request'")
+        if not isinstance(configs, dict) or not configs or not all(
+                isinstance(cfg, ProcessorConfig) for cfg in configs.values()):
+            raise WireError("sweep-submit needs named ProcessorConfigs "
+                            "under 'configs'")
+        if not isinstance(workloads, list) or not workloads or not all(
+                isinstance(name, str) for name in workloads):
+            raise WireError("sweep-submit needs workload names under "
+                            "'workloads'")
+        req = request.resolved()
+        if req.sampling not in (None, "off"):
+            raise WireError(
+                "serve runs full simulations only (sampling="
+                f"{req.sampling!r}); run sampled sweeps client-side, "
+                "e.g. over the queue backend")
+        instructions = DEFAULT_INSTRUCTIONS if req.instructions is None \
+            else req.instructions
+        skip = DEFAULT_SKIP if req.skip is None else req.skip
+        # The client resolved its environment before submitting, so the
+        # request's own frontend field is the whole policy here -- the
+        # server's environment must not leak into remote results.
+        cells: List[_Cell] = []
+        index = 0
+        for config_name, config in configs.items():
+            if req.frontend and config.frontend_mode != req.frontend:
+                config = config.with_frontend(req.frontend)
+            for workload in workloads:
+                job = SimJob(get_profile(workload), config,
+                             instructions, skip)
+                cells.append(_Cell(index, config_name, workload, job))
+                index += 1
+        return req, cells
+
+    # ------------------------------------------------------------------
+    # Cell execution (the shared task map)
+    # ------------------------------------------------------------------
+
+    def _shared_task(self, cell: _Cell) -> "Tuple[asyncio.Task, bool]":
+        task = self._tasks.get(cell.key)
+        if task is not None:
+            self.dedup_hits += 1
+            return task, True
+        task = asyncio.get_running_loop().create_task(
+            self._compute(cell.key, cell.job))
+        self._tasks[cell.key] = task
+        task.add_done_callback(self._reap)
+        return task, False
+
+    def _reap(self, task: "asyncio.Task") -> None:
+        # A failed or cancelled cell must not poison later submissions
+        # of the same key; successful results stay shared forever.
+        if task.cancelled() or task.exception() is not None:
+            for key, held in list(self._tasks.items()):
+                if held is task:
+                    del self._tasks[key]
+
+    async def _compute(self, key: str,
+                       job: SimJob) -> "Tuple[SimulationResult, bool]":
+        if self._sem is None:
+            self._sem = asyncio.Semaphore(self._concurrency)
+        async with self._sem:
+            if self.cache is not None:
+                cached = await asyncio.to_thread(self.cache.get, key)
+                if cached is not None:
+                    self.cache_hits += 1
+                    return cached, True
+            produced = await asyncio.to_thread(
+                self.backend.run_units, [[(key, job)]])
+            result = produced[0][0][1]
+            self.simulated += 1
+            if self.cache is not None:
+                await asyncio.to_thread(self.cache.put, key, result)
+            return result, False
+
+    # ------------------------------------------------------------------
+    # Protocol handlers
+    # ------------------------------------------------------------------
+
+    async def _send(self, writer: asyncio.StreamWriter, kind: str,
+                    payload: Any) -> None:
+        writer.write(encode_message(kind, payload))
+        await writer.drain()
+
+    async def _emit_cell(self, writer: asyncio.StreamWriter, cell: _Cell,
+                         task: "asyncio.Task", deduped: bool) -> None:
+        result, cached = await task
+        stats = result.stats
+        summary = topdown_summary(result)
+        self.cells_served += 1
+        self.recent.append({
+            "config": cell.config_name,
+            "workload": cell.workload,
+            "cpi": stats.cycles / stats.committed,
+            "mover": summary["mover"],
+            "mover_cpi": summary["mover_cpi"],
+        })
+        await self._send(writer, "cell", {
+            "index": cell.index,
+            "config": cell.config_name,
+            "workload": cell.workload,
+            "key": cell.key,
+            "cached": cached,
+            "deduped": deduped,
+            "metrics": {
+                "cpi": stats.cycles / stats.committed,
+                "ipc": stats.ipc,
+                "branch_mpki": stats.branch_mpki,
+                "llc_mpki": stats.llc_mpki,
+            },
+            "topdown": summary,
+            "result": result,
+        })
+
+    async def _handle_submit(self, payload: Any,
+                             writer: asyncio.StreamWriter) -> None:
+        _req, cells = self._plan(payload)
+        self.submissions += 1
+        planned = [(cell,) + self._shared_task(cell) for cell in cells]
+        await asyncio.gather(*(
+            self._emit_cell(writer, cell, task, deduped)
+            for cell, task, deduped in planned))
+        await self._send(writer, "done", {
+            "cells": len(cells),
+            "counters": self.counters(),
+        })
+
+    def counters(self) -> Dict[str, Any]:
+        return {
+            "backend": self.backend.describe(),
+            "clients_served": self.clients_served,
+            "submissions": self.submissions,
+            "cells_served": self.cells_served,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "simulated": self.simulated,
+            "active_cells": sum(1 for task in self._tasks.values()
+                                if not task.done()),
+        }
+
+    def status(self) -> Dict[str, Any]:
+        payload = self.counters()
+        payload["recent"] = list(self.recent)
+        return payload
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        """One client connection: serve exchanges until it hangs up."""
+        self.clients_served += 1
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ValueError, ConnectionError):
+                    break  # over-long line or peer reset: hang up
+                if not line:
+                    break
+                try:
+                    kind, payload = decode_message(line)
+                except WireError as exc:
+                    await self._send(writer, "error",
+                                     {"message": str(exc)})
+                    continue
+                if kind == "status-request":
+                    await self._send(writer, "status", self.status())
+                elif kind == "sweep-submit":
+                    try:
+                        await self._handle_submit(payload, writer)
+                    except WireError as exc:
+                        await self._send(writer, "error",
+                                         {"message": str(exc)})
+                    except Exception as exc:  # noqa: BLE001 -- reported
+                        await self._send(writer, "error", {
+                            "message": f"{type(exc).__name__}: {exc}"})
+                else:
+                    await self._send(writer, "error", {
+                        "message": f"unknown request kind {kind!r}"})
+        except ConnectionError:
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels idle handlers mid-readline; ending
+            # normally here keeps teardown quiet (asyncio's stream
+            # callback would log the cancellation as an error).
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def start(self, host: str, port: int) -> "asyncio.base_events.Server":
+        """Bind and return the listening asyncio server."""
+        return await asyncio.start_server(self.handle, host, port,
+                                          limit=MAX_LINE_BYTES)
+
+    def close(self) -> None:
+        self.backend.close()
+
+
+async def serve_forever(server: SweepServer, host: str, port: int,
+                        ready=None) -> None:
+    """Run ``server`` until cancelled; ``ready(bound_port)`` on bind."""
+    listener = await server.start(host, port)
+    try:
+        if ready is not None:
+            ready(listener.sockets[0].getsockname()[1])
+        async with listener:
+            await listener.serve_forever()
+    finally:
+        server.close()
+
+
+__all__ = [
+    "SweepServer",
+    "mover_text",
+    "serve_forever",
+    "topdown_summary",
+]

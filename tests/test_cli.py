@@ -13,7 +13,12 @@ class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "sjeng"])
         assert args.workload == "sjeng"
-        assert args.instructions == 10_000
+        # Budget flags default to unset so a --request-file can supply
+        # them; the classic CLI budget is applied by the request layer.
+        assert args.instructions is None
+        from repro.cli import _request_from_args
+        request = _request_from_args(args)
+        assert request.instructions == 10_000 and request.skip == 10_000
         assert not args.pubs
 
     def test_machine_flags(self):
@@ -26,6 +31,57 @@ class TestParser:
     def test_invalid_org_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "sjeng", "--iq-org", "bogus"])
+
+    def test_backend_flags_parse(self):
+        args = build_parser().parse_args(
+            ["suite", "--backend", "inline", "--workloads", "sjeng"])
+        assert args.backend == "inline" and args.queue_dir is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--backend", "warp"])
+
+    def test_fabric_subcommands_parse(self):
+        parser = build_parser()
+        worker = parser.parse_args(["worker", "--queue-dir", "/tmp/q",
+                                    "--drain", "--max-jobs", "3"])
+        assert worker.drain and worker.max_jobs == 3
+        serve = parser.parse_args(["serve"])
+        assert serve.host == "127.0.0.1" and serve.port == 0
+        submit = parser.parse_args(["submit", "--workloads", "mcf",
+                                    "--host", "127.0.0.1"])
+        assert submit.host == "127.0.0.1" and submit.workloads == ["mcf"]
+        status = parser.parse_args(["status", "--queue-dir", "/tmp/q"])
+        assert status.queue_dir == "/tmp/q" and status.host is None
+
+
+class TestRequestFile:
+    def _request_for(self, argv):
+        from repro.cli import _request_from_args
+        return _request_from_args(build_parser().parse_args(argv))
+
+    def test_request_file_supplies_unset_fields(self, tmp_path):
+        from repro.core.config import RunRequest
+        path = tmp_path / "req.json"
+        path.write_text(RunRequest(instructions=777, skip=11,
+                                   backend="inline").to_json())
+        request = self._request_for(["run", "sjeng",
+                                     "--request-file", str(path)])
+        assert request.instructions == 777 and request.skip == 11
+        assert request.backend == "inline"
+
+    def test_explicit_flags_beat_the_request_file(self, tmp_path):
+        from repro.core.config import RunRequest
+        path = tmp_path / "req.json"
+        path.write_text(RunRequest(instructions=777, jobs=4).to_json())
+        request = self._request_for(["run", "sjeng", "-n", "1500",
+                                     "--request-file", str(path)])
+        assert request.instructions == 1500  # flag wins
+        assert request.jobs == 4             # file fills the rest
+
+    def test_malformed_request_file_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "req.json"
+        path.write_text("{not json")
+        assert main(["run", "sjeng", "--request-file", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestCommands:

@@ -72,12 +72,21 @@ class TestSweepExecutor:
         assert "hits=0" in on
 
     def test_default_jobs_env_override(self, monkeypatch):
+        # Unset (or garbage), the default is the CPUs this process may
+        # actually use -- the affinity mask where the platform has one,
+        # not the raw host count -- and never less than 1.
+        try:
+            usable = max(1, len(os.sched_getaffinity(0)))
+        except (AttributeError, OSError):
+            usable = os.cpu_count() or 1
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert default_jobs() == 3
         monkeypatch.setenv("REPRO_JOBS", "garbage")
-        assert default_jobs() == (os.cpu_count() or 1)
+        assert default_jobs() == usable
+        monkeypatch.setenv("REPRO_JOBS", "-2")
+        assert default_jobs() == usable
         monkeypatch.delenv("REPRO_JOBS")
-        assert default_jobs() == (os.cpu_count() or 1)
+        assert default_jobs() == usable
 
 
 class TestRunnerIntegration:

@@ -1,0 +1,195 @@
+"""The serve front end: concurrent clients, cross-client dedup, errors.
+
+Each test runs a real :class:`~repro.serve.server.SweepServer` on an
+ephemeral localhost port inside one event loop and talks to it through
+the real client library -- the same wire bytes ``repro submit --host``
+and ``repro status --host`` exchange, minus the subprocesses.  The
+inline backend keeps everything in-process and deterministic.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import ProcessorConfig
+from repro.analysis import run_suite
+from repro.core.config import RunRequest
+from repro.exec import InlineBackend, ResultCache
+from repro.serve import (
+    ServeError,
+    SweepServer,
+    fetch_status_async,
+    mover_text,
+    submit_sweep_async,
+    topdown_summary,
+)
+
+INSTRUCTIONS = 300
+SKIP = 200
+
+
+def _configs():
+    base = ProcessorConfig.cortex_a72_like()
+    return {"base": base, "variant": base.with_pubs()}
+
+
+def _request():
+    return RunRequest(instructions=INSTRUCTIONS, skip=SKIP, sampling="off")
+
+
+def _with_server(coro_factory, **server_kwargs):
+    """Run ``coro_factory(server, port)`` against a live ephemeral server."""
+    server_kwargs.setdefault("backend", InlineBackend())
+    server_kwargs.setdefault("cache", False)
+
+    async def main():
+        server = SweepServer(jobs=2, **server_kwargs)
+        listener = await server.start("127.0.0.1", 0)
+        port = listener.sockets[0].getsockname()[1]
+        try:
+            return await coro_factory(server, port)
+        finally:
+            listener.close()
+            await listener.wait_closed()
+            server.close()
+
+    return asyncio.run(main())
+
+
+class TestServe:
+    def test_sweep_matches_run_suite(self):
+        """The streamed table is the same table a local run produces."""
+        async def scenario(server, port):
+            return await submit_sweep_async(
+                "127.0.0.1", port, _request(), _configs(), ["sjeng", "mcf"])
+
+        reply = _with_server(scenario)
+        local = run_suite(_configs(), ["sjeng", "mcf"],
+                          instructions=INSTRUCTIONS, skip=SKIP,
+                          jobs=1, cache=False)
+        assert reply.results() == local
+        assert reply.summary["cells"] == 4
+        assert reply.summary["counters"]["simulated"] == 4
+
+    def test_concurrent_clients_deduplicate(self):
+        """Two overlapping submissions share in-flight cells: the
+        overlap costs zero extra simulations and both clients get
+        identical results."""
+        async def scenario(server, port):
+            first, second = await asyncio.gather(
+                submit_sweep_async("127.0.0.1", port, _request(),
+                                   _configs(), ["sjeng", "mcf"]),
+                submit_sweep_async("127.0.0.1", port, _request(),
+                                   _configs(), ["mcf", "gobmk"]))
+            return first, second, server.counters()
+
+        first, second, counters = _with_server(scenario)
+        # 3 distinct workloads x 2 configs = 6 distinct cells for
+        # 8 served; the 2-cell overlap ("mcf" under both configs)
+        # deduplicates whichever client arrived second.
+        assert counters["cells_served"] == 8
+        assert counters["simulated"] == 6
+        assert counters["dedup_hits"] == 2
+        assert counters["submissions"] == 2
+        for config in ("base", "variant"):
+            assert first.results()[config]["mcf"] == \
+                second.results()[config]["mcf"]
+
+    def test_cache_hits_skip_the_backend(self, tmp_path):
+        """A warm result cache answers cells without simulating."""
+        cache = ResultCache(tmp_path)
+
+        async def scenario(server, port):
+            await submit_sweep_async("127.0.0.1", port, _request(),
+                                     _configs(), ["sjeng"])
+            return server.counters()
+
+        cold = _with_server(scenario, cache=cache)
+        assert (cold["simulated"], cold["cache_hits"]) == (2, 0)
+        warm = _with_server(scenario, cache=ResultCache(tmp_path))
+        assert (warm["simulated"], warm["cache_hits"]) == (0, 2)
+
+    def test_cell_events_carry_metrics_and_topdown(self):
+        async def scenario(server, port):
+            return await submit_sweep_async(
+                "127.0.0.1", port, _request(), _configs(), ["sjeng"])
+
+        reply = _with_server(scenario)
+        for cell in reply.cells:
+            stats = cell["result"].stats
+            assert cell["metrics"]["cpi"] == pytest.approx(
+                stats.cycles / stats.committed)
+            summary = cell["topdown"]
+            assert summary["mover"] in summary["level1"]
+            assert summary["mover"] != "retiring"
+            assert summary["mover_cpi"] == pytest.approx(
+                summary["level1"][summary["mover"]])
+
+    def test_status_reports_counters_and_recent_movers(self):
+        async def scenario(server, port):
+            await submit_sweep_async("127.0.0.1", port, _request(),
+                                     _configs(), ["sjeng"])
+            return await fetch_status_async("127.0.0.1", port)
+
+        status = _with_server(scenario)
+        assert status["cells_served"] == 2
+        assert status["active_cells"] == 0
+        recent = status["recent"]
+        assert len(recent) == 2
+        for entry in recent:
+            assert entry["workload"] == "sjeng"
+            assert "CPI" in mover_text(entry)
+
+    def test_sampled_submissions_are_rejected(self):
+        async def scenario(server, port):
+            request = RunRequest(sampling="fixed")
+            with pytest.raises(ServeError, match="full simulations only"):
+                await submit_sweep_async("127.0.0.1", port, request,
+                                         _configs(), ["sjeng"])
+            # The connection survives the error: a corrected submit on
+            # a fresh exchange still works.
+            return await submit_sweep_async(
+                "127.0.0.1", port, _request(), _configs(), ["sjeng"])
+
+        reply = _with_server(scenario)
+        assert len(reply.cells) == 2
+
+    def test_malformed_submissions_are_rejected(self):
+        async def scenario(server, port):
+            cases = [
+                ({"request": _request(), "configs": {},
+                  "workloads": ["sjeng"]}, "ProcessorConfig"),
+                ({"request": _request(), "configs": _configs(),
+                  "workloads": []}, "workload names"),
+                ({"request": "nope", "configs": _configs(),
+                  "workloads": ["sjeng"]}, "RunRequest"),
+            ]
+            from repro.serve.protocol import decode_message, encode_message
+            for payload, needle in cases:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port)
+                writer.write(encode_message("sweep-submit", payload))
+                await writer.drain()
+                kind, event = decode_message(await reader.readline())
+                assert kind == "error" and needle in event["message"]
+                writer.close()
+                await writer.wait_closed()
+            return server.counters()
+
+        counters = _with_server(scenario)
+        assert counters["simulated"] == 0
+
+    def test_unknown_kind_gets_an_error_event(self):
+        async def scenario(server, port):
+            from repro.serve.protocol import decode_message, encode_message
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(encode_message("coffee-request", {}))
+            await writer.drain()
+            kind, event = decode_message(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            return kind, event
+
+        kind, event = _with_server(scenario)
+        assert kind == "error"
+        assert "unknown request kind" in event["message"]
